@@ -1,0 +1,134 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out.
+
+* fault-simulation fitness (GATEST) vs logic-simulation fitness
+  (CRIS-like) — the paper's central design argument;
+* GA search vs pure random search at a matched vector budget;
+* phase-3 activity fitness term on/off;
+* the multi-length sequence schedule vs a single long length.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import ContestLikeGenerator, CrisLikeGenerator, RandomTestGenerator
+from repro.core import GaTestGenerator, TestGenConfig
+from repro.faults import FaultSimulator
+from repro.harness.runner import run_gatest
+
+from conftest import SCALE, SEEDS, circuit, mean
+
+
+@pytest.mark.benchmark(group="ablation")
+def bench_crislike_fitness(benchmark):
+    """Logic-sim (CRIS-like) fitness vs GATEST's fault-sim fitness."""
+    compiled = circuit("s298")
+
+    def run():
+        return CrisLikeGenerator(compiled, seed=1, max_vectors=600).run()
+
+    cris = benchmark.pedantic(run, rounds=1, iterations=1)
+    gatest = run_gatest("s298", TestGenConfig(), SEEDS[:1], scale=SCALE)
+    print(f"\nablation CRIS-like: det {cris.detected}/{cris.total_faults} "
+          f"vec {cris.vectors}; GATEST det {gatest.det_mean:.1f} "
+          f"vec {gatest.vec_mean:.0f}")
+    # The paper: GATEST's fault-sim fitness beats CRIS on 17 of 18
+    # circuits.  Assert it here (equal-or-better, coverage-wise).
+    assert gatest.det_mean >= cris.detected
+
+
+@pytest.mark.benchmark(group="ablation")
+def bench_contest_search_breadth(benchmark):
+    """Population search (GA) vs unit-Hamming hill climbing (CONTEST-like).
+
+    Isolates the paper's search-breadth argument for why mutation-based
+    generators trail the GA."""
+    compiled = circuit("s298")
+
+    def run():
+        return ContestLikeGenerator(compiled, seed=1, max_vectors=800).run()
+
+    contest = benchmark.pedantic(run, rounds=1, iterations=1)
+    gatest = run_gatest("s298", TestGenConfig(), SEEDS[:1], scale=SCALE)
+    print(f"\nablation CONTEST-like: det {contest.detected}/{contest.total_faults} "
+          f"vec {contest.vectors}; GATEST det {gatest.det_mean:.1f} "
+          f"vec {gatest.vec_mean:.0f}")
+    assert gatest.det_mean >= contest.detected - 0.03 * contest.total_faults
+
+
+@pytest.mark.benchmark(group="ablation")
+def bench_ga_vs_random(benchmark):
+    """GA search vs unguided random vectors, same vector budget."""
+    compiled = circuit("s1196")
+
+    def run():
+        return GaTestGenerator(compiled, TestGenConfig(seed=1)).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rng = random.Random(1)
+    fsim = FaultSimulator(compiled)
+    fsim.commit([
+        [rng.randint(0, 1) for _ in range(compiled.num_pis)]
+        for _ in range(result.vectors)
+    ])
+    print(f"\nablation GA {result.detected} vs random {fsim.detected_count} "
+          f"at {result.vectors} vectors ({result.total_faults} faults)")
+    assert result.detected >= fsim.detected_count
+
+
+@pytest.mark.benchmark(group="ablation")
+def bench_weighted_random(benchmark):
+    """Weighted-random TPG (intro refs [3,4,5]) vs GATEST at matched
+    vectors: input-distribution shaping alone cannot reach GA coverage
+    on sequential circuits."""
+    from repro.baselines import WeightedRandomGenerator
+
+    compiled = circuit("s298")
+    gatest = run_gatest("s298", TestGenConfig(), SEEDS[:1], scale=SCALE)
+
+    def run():
+        return WeightedRandomGenerator(
+            compiled, seed=1, max_vectors=round(gatest.vec_mean)
+        ).run()
+
+    weighted = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nablation weighted-random: det {weighted.detected}"
+          f"/{weighted.total_faults} vec {weighted.vectors}; "
+          f"GATEST det {gatest.det_mean:.1f} vec {gatest.vec_mean:.0f}")
+    assert gatest.det_mean >= weighted.detected
+
+
+@pytest.mark.benchmark(group="ablation")
+def bench_activity_fitness(benchmark):
+    """Phase-3 activity reward on (paper) vs off."""
+    def run():
+        on = run_gatest("s298", TestGenConfig(use_activity_fitness=True),
+                        SEEDS, scale=SCALE)
+        off = run_gatest("s298", TestGenConfig(use_activity_fitness=False),
+                         SEEDS, scale=SCALE)
+        return on, off
+
+    on, off = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nablation activity on: det {on.det_mean:.1f}; off: {off.det_mean:.1f}")
+    # The activity term is a tiebreak; disabling it must not help much.
+    assert on.det_mean >= off.det_mean - 0.05 * on.total_faults
+
+
+@pytest.mark.benchmark(group="ablation")
+def bench_sequence_length_schedule(benchmark):
+    """Multi-length schedule (1x/2x/4x depth) vs only the longest."""
+    def run():
+        multi = run_gatest("s298", TestGenConfig(), SEEDS[:1], scale=SCALE)
+        single = run_gatest(
+            "s298", TestGenConfig(seq_length_multipliers=(4.0,)),
+            SEEDS[:1], scale=SCALE,
+        )
+        return multi, single
+
+    multi, single = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nablation seq schedule multi: det {multi.det_mean:.1f} "
+          f"time {multi.time_mean:.2f}s; single(4x): det {single.det_mean:.1f} "
+          f"time {single.time_mean:.2f}s")
+    # The paper's rationale: shorter lengths catch easy faults cheaply,
+    # reducing execution time without losing coverage.
+    assert multi.det_mean >= single.det_mean - 0.05 * multi.total_faults

@@ -1,0 +1,85 @@
+"""Benches for the reproduction extensions (DESIGN.md §5, paper §VI):
+
+* static test-set compaction — cost and achieved reduction;
+* transition-fault GATEST — the "other fault models" claim;
+* island-model GA — the "parallel implementations" claim (algorithmic
+  equivalence at matched budget).
+"""
+
+import pytest
+
+from repro.core import GaTestGenerator, HybridAtpg, TestGenConfig, compact_test_set
+from repro.faults import FaultSimulator
+
+from conftest import SCALE, circuit
+
+
+@pytest.mark.benchmark(group="extensions")
+def bench_compaction(benchmark):
+    compiled = circuit("s298")
+    result = GaTestGenerator(compiled, TestGenConfig(seed=1)).run()
+
+    def run():
+        return compact_test_set(compiled, result.test_sequence)
+
+    compaction = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ncompaction: {compaction.original_vectors} -> "
+          f"{compaction.compacted_vectors} vectors "
+          f"({100 * compaction.reduction:.0f}% smaller, "
+          f"{compaction.trials} resimulations)")
+    # Coverage must be preserved and the compacted set must replay.
+    fsim = FaultSimulator(compiled)
+    fsim.commit(compaction.test_sequence)
+    assert fsim.detected_count >= result.detected
+    assert compaction.compacted_vectors <= result.vectors
+
+
+@pytest.mark.benchmark(group="extensions")
+def bench_transition_fault_gatest(benchmark):
+    compiled = circuit("s298")
+
+    def run():
+        return GaTestGenerator(
+            compiled, TestGenConfig(seed=1, fault_model="transition")
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ntransition-fault GATEST: {result.summary()}")
+    # The framework must achieve meaningful transition coverage with the
+    # unmodified phase fitness functions (the paper's §VI claim).
+    assert result.fault_coverage > 0.4
+
+
+@pytest.mark.benchmark(group="extensions")
+def bench_hybrid_flow(benchmark):
+    """§V's GA-then-deterministic flow: coverage never below GA alone,
+    fault efficiency strictly above it when untestable faults exist."""
+    compiled = circuit("s298")
+
+    def run():
+        return HybridAtpg(
+            compiled, TestGenConfig(seed=1), backtrack_limit=100
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nhybrid: {result.summary()}")
+    assert result.detected >= result.ga_detected
+    assert result.fault_efficiency >= result.fault_coverage
+
+
+@pytest.mark.benchmark(group="extensions")
+def bench_island_gatest(benchmark):
+    compiled = circuit("s298")
+
+    def run():
+        plain = GaTestGenerator(compiled, TestGenConfig(seed=1)).run()
+        islands = GaTestGenerator(
+            compiled, TestGenConfig(seed=1, n_islands=4)
+        ).run()
+        return plain, islands
+
+    plain, islands = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nplain: {plain.summary()}\nislands: {islands.summary()}")
+    # At a matched budget the island model must stay competitive: the
+    # point of the decomposition is parallelizability, not quality loss.
+    assert islands.detected >= plain.detected - 0.08 * plain.total_faults

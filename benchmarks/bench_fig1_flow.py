@@ -1,0 +1,47 @@
+"""Figure 1: the overall GA-based test-generation flow.
+
+Runs a full GATEST pass and asserts the Figure-1 structure: a stage of
+individual test vectors first, then test-sequence GA attempts at the
+scheduled lengths (shortest first), terminating when every length's
+failure budget is exhausted.
+"""
+
+import pytest
+
+from repro.core import GaTestGenerator, TestGenConfig
+
+from conftest import circuit
+
+
+@pytest.mark.benchmark(group="fig1")
+def bench_full_flow(benchmark):
+    compiled = circuit("s298")
+
+    def run():
+        return GaTestGenerator(compiled, TestGenConfig(seed=1)).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    kinds = [event.kind for event in result.trace]
+    # Stage 1 (vectors) strictly precedes stage 2 (sequences).
+    first_sequence = kinds.index("sequence") if "sequence" in kinds else len(kinds)
+    assert all(k == "vector" for k in kinds[:first_sequence])
+    assert all(k == "sequence" for k in kinds[first_sequence:])
+
+    # Sequence lengths are tried shortest-first per the schedule.
+    lengths = [e.frames for e in result.trace if e.kind == "sequence"]
+    depth = compiled.circuit.sequential_depth()
+    expected = list(TestGenConfig().sequence_lengths(depth))
+    seen_order = list(dict.fromkeys(lengths))
+    assert seen_order == [l for l in expected if l in seen_order]
+
+    # Each length's run ends with seq_fail_limit consecutive failures
+    # (unless the fault list empties first).
+    config = TestGenConfig()
+    if result.detected < result.total_faults and lengths:
+        tail = [e for e in result.trace if e.kind == "sequence"][-config.seq_fail_limit:]
+        assert all(not e.committed for e in tail)
+
+    # The flow produced a usable test set.
+    assert result.fault_coverage > 0.5
+    print(f"\nfig1: {result.summary()}")

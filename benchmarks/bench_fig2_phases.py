@@ -1,0 +1,45 @@
+"""Figure 2: the phase state machine of individual-vector generation.
+
+Runs the vector stage and asserts the Figure-2 invariants on the
+transition log: start in initialization, leave it exactly once, then
+alternate detection/activity until the progress limit fires.
+"""
+
+import pytest
+
+from repro.core import GaTestGenerator, Phase, TestGenConfig
+from repro.core.phases import PhaseTracker
+
+from conftest import circuit
+
+
+@pytest.mark.benchmark(group="fig2")
+def bench_vector_stage_phases(benchmark):
+    compiled = circuit("s298")
+
+    def run_vector_stage():
+        generator = GaTestGenerator(compiled, TestGenConfig(seed=2))
+        tracker = PhaseTracker(
+            progress_limit=generator.config.progress_limit(
+                compiled.circuit.sequential_depth()
+            )
+        )
+        generator._generate_vectors(tracker)
+        return generator, tracker
+
+    generator, tracker = benchmark.pedantic(run_vector_stage, rounds=1, iterations=1)
+    phases = [p for _, p in tracker.transitions]
+
+    assert phases[0] is Phase.INITIALIZATION
+    assert phases.count(Phase.INITIALIZATION) == 1
+    # After leaving phase 1, only detection/activity alternate.
+    for a, b in zip(phases[1:], phases[2:]):
+        assert {a, b} <= {Phase.DETECTION, Phase.ACTIVITY}
+        assert a is not b  # transitions are real changes
+
+    # The stage ended because the progress limit fired (or faults ran out).
+    if generator.fsim.active:
+        assert tracker.vectors_exhausted
+        assert tracker.noncontributing >= tracker.progress_limit
+
+    print(f"\nfig2 transitions: {[(i, p.name) for i, p in tracker.transitions]}")

@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the simulation substrate.
+
+These track the throughput of the hot paths (DESIGN.md §6): good-machine
+pattern-parallel simulation, fault-group simulation, batch candidate
+evaluation, and the deterministic engine's PODEM search.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import Podem, unroll
+from repro.faults import FaultSimulator, collapsed_fault_list
+from repro.sim import PatternSimulator
+
+from conftest import SCALE, circuit
+
+
+def _vectors(compiled, count, seed=0):
+    rng = random.Random(seed)
+    return [
+        [rng.randint(0, 1) for _ in range(compiled.num_pis)]
+        for _ in range(count)
+    ]
+
+
+@pytest.mark.benchmark(group="simulator")
+def bench_pattern_parallel_good(benchmark):
+    """32-slot good-machine simulation, 16 frames."""
+    compiled = circuit("s298")
+    sequences = [_vectors(compiled, 16, seed=s) for s in range(32)]
+
+    def run():
+        sim = PatternSimulator(compiled, n_slots=32)
+        sim.begin(None)
+        for frame in range(16):
+            sim.step([sequences[s][frame] for s in range(32)],
+                     count_events=False)
+        return sim
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="simulator")
+def bench_fault_commit(benchmark):
+    """Committing 32 vectors against the full fault list."""
+    compiled = circuit("s298")
+    vectors = _vectors(compiled, 32, seed=1)
+
+    def run():
+        sim = FaultSimulator(compiled)
+        sim.commit(vectors)
+        return sim.detected_count
+
+    detected = benchmark(run)
+    assert detected > 0
+
+
+@pytest.mark.benchmark(group="simulator")
+def bench_candidate_evaluation_batch(benchmark):
+    """One GA population (32 single-vector candidates) scored at once."""
+    compiled = circuit("s298")
+    sim = FaultSimulator(compiled)
+    sim.commit(_vectors(compiled, 8, seed=2))
+    candidates = [[v] for v in _vectors(compiled, 32, seed=3)]
+
+    def run():
+        return sim.evaluate_batch(candidates)
+
+    results = benchmark(run)
+    assert len(results) == 32
+
+
+@pytest.mark.benchmark(group="simulator")
+def bench_candidate_evaluation_serial(benchmark):
+    """The same population scored one candidate at a time (the
+    pre-batching path, kept as the semantic reference)."""
+    compiled = circuit("s298")
+    sim = FaultSimulator(compiled)
+    sim.commit(_vectors(compiled, 8, seed=2))
+    candidates = [[v] for v in _vectors(compiled, 32, seed=3)]
+
+    def run():
+        return [sim.evaluate(c) for c in candidates]
+
+    results = benchmark(run)
+    assert len(results) == 32
+
+
+@pytest.mark.benchmark(group="simulator")
+def bench_podem_search(benchmark):
+    """PODEM on a 4-frame unrolling, one mid-list fault."""
+    compiled = circuit("s298")
+    unrolled = unroll(compiled.circuit, 4)
+    faults = collapsed_fault_list(compiled.circuit)
+    fault = faults[len(faults) // 2]
+    assignable = [pi for frame in unrolled.frame_pis for pi in frame]
+
+    def run():
+        return Podem(
+            unrolled.circuit, unrolled.fault_copies(fault),
+            assignable, unrolled.observables, backtrack_limit=100,
+        ).run()
+
+    result = benchmark(run)
+    assert result.status is not None

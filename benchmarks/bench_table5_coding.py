@@ -1,0 +1,48 @@
+"""Table 5: binary vs nonbinary sequence coding across population sizes.
+
+Paper shapes checked:
+
+* fault coverage tends to improve with population size (the paper's
+  monotone trend, checked with a small noise tolerance);
+* both codings are close — the paper's differences are small, with
+  binary typically slightly ahead at small populations.
+"""
+
+import pytest
+
+from repro.core import TestGenConfig
+from repro.harness.runner import run_matrix
+
+from conftest import SCALE, SEEDS, STUDY_CIRCUITS, mean
+
+POPULATIONS = [16, 32, 64]
+CODINGS = ["binary", "nonbinary"]
+
+
+@pytest.mark.benchmark(group="table5")
+def bench_coding_population_grid(benchmark):
+    configs = {
+        f"{coding[:3]}{pop}": TestGenConfig(coding=coding, seq_population_size=pop)
+        for coding in CODINGS for pop in POPULATIONS
+    }
+
+    def run():
+        return run_matrix(STUDY_CIRCUITS, configs, SEEDS, scale=SCALE)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name in STUDY_CIRCUITS:
+        total = results[name]["bin16"].total_faults
+        row = {k: results[name][k].det_mean for k in configs}
+        print(f"\ntable5 {name}: {row}")
+        # Codings track each other closely at every population size.
+        for pop in POPULATIONS:
+            gap = abs(row[f"bin{pop}"] - row[f"non{pop}"]) / total
+            assert gap <= 0.10, f"{name} pop{pop}: coding gap {gap:.3f}"
+        # Population trend: the largest population is not materially
+        # worse than the smallest (noise tolerance 2% of faults).
+        for coding in ("bin", "non"):
+            small = row[f"{coding}16"]
+            large = row[f"{coding}64"]
+            assert large >= small - 0.02 * total, (
+                f"{name} {coding}: pop64 {large} << pop16 {small}"
+            )

@@ -1,0 +1,71 @@
+"""Table 6: fault sampling in the fitness evaluation.
+
+Paper shapes checked:
+
+* sampling cuts the cost of a fitness evaluation (the mechanism behind
+  the paper's speedups — asserted on the per-evaluation cost, which is
+  robust to run-trajectory noise; the paper's own end-to-end speedups
+  dip below 1.0 for the smallest circuit);
+* the coverage cost of sampling is bounded;
+* larger circuits benefit more than smaller ones (the paper's headline
+  trend: s5378 at 6.3x vs s298 at 1.05x).
+
+End-to-end speedups are printed for EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core import TestGenConfig
+from repro.harness.runner import run_matrix
+
+from conftest import SCALE, SEEDS, mean
+
+
+def sample_sizes():
+    """Absolute sizes, scaled like the circuits are (paper: 100/200/300)."""
+    return [max(8, round(s * SCALE)) for s in (100, 200, 300)]
+
+
+def eval_cost(agg):
+    """Mean wall-clock per GA fitness evaluation."""
+    total_evals = mean(r.ga_evaluations for r in agg.runs)
+    return agg.time_mean / total_evals if total_evals else 0.0
+
+
+@pytest.mark.benchmark(group="table6")
+def bench_fault_sampling(benchmark):
+    sizes = sample_sizes()
+    circuits = ["s298", "s1196"]
+    configs = {"full": TestGenConfig()}
+    configs.update({f"s{n}": TestGenConfig(fault_sample=n) for n in sizes})
+
+    def run():
+        return run_matrix(circuits, configs, SEEDS, scale=SCALE)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    cost_gain = {}
+    for name in circuits:
+        full = results[name]["full"]
+        print(f"\ntable6 {name}: full det {full.det_mean:.1f}/{full.total_faults} "
+              f"time {full.time_mean:.2f}s eval-cost {1e6 * eval_cost(full):.0f}us")
+        for n in sizes:
+            agg = results[name][f"s{n}"]
+            speedup = full.time_mean / agg.time_mean if agg.time_mean else 0.0
+            gain = eval_cost(full) / eval_cost(agg) if eval_cost(agg) else 0.0
+            cost_gain[(name, n)] = gain
+            drop = (full.det_mean - agg.det_mean) / full.total_faults
+            print(f"  sample {n}: det {agg.det_mean:.1f} end-to-end speedup "
+                  f"{speedup:.2f} eval-cost gain {gain:.2f} "
+                  f"coverage drop {100 * drop:.1f}%")
+            # Coverage cost of sampling is bounded.
+            assert drop <= 0.25, f"{name} sample {n}: drop {drop:.2f}"
+
+    smallest = sizes[0]
+    # Sampling must make individual evaluations cheaper on the larger
+    # circuit (its fault list dwarfs the sample).
+    assert cost_gain[("s1196", smallest)] > 1.0, cost_gain
+    # And the larger circuit benefits at least as much as the smaller.
+    assert (
+        cost_gain[("s1196", smallest)]
+        >= cost_gain[("s298", smallest)] * 0.9
+    ), cost_gain

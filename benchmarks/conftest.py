@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's tables or figures at reduced
+scale (see DESIGN.md §4): the synthetic circuits are shrunk with
+``SCALE`` and seeds reduced to ``SEEDS`` so the whole suite runs in
+minutes.  Shapes (who wins, rough ratios) are asserted; absolute values
+are printed for EXPERIMENTS.md.  Set the environment variable
+``REPRO_BENCH_SCALE=1.0`` / ``REPRO_BENCH_SEEDS=10`` to run a bench at
+the paper's full protocol.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.runner import compiled_circuit_for
+
+#: Circuit scale used by the benchmark suite.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+#: Number of GA seeds per configuration.
+SEEDS = list(range(1, int(os.environ.get("REPRO_BENCH_SEEDS", "2")) + 1))
+
+#: Circuits exercised by the parameter-study benches.
+STUDY_CIRCUITS = ["s298", "s386"]
+
+
+@pytest.fixture(scope="session")
+def scaled_circuit():
+    """The default benchmark circuit (scaled s298)."""
+    return compiled_circuit_for("s298", SCALE)
+
+
+def circuit(name: str):
+    return compiled_circuit_for(name, SCALE)
+
+
+def mean(values):
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

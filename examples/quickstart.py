@@ -1,0 +1,45 @@
+"""Quickstart: generate tests for the ISCAS89 s27 benchmark.
+
+Runs the GA-based test generator (GATEST) with the paper's default
+configuration, prints what happened phase by phase, and verifies the
+resulting test set by replaying it through an independent fault
+simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.circuit import s27
+from repro.core import GaTestGenerator, TestGenConfig
+from repro.faults import FaultSimulator
+
+
+def main() -> None:
+    circuit = s27()
+    print(f"circuit: {circuit.name}  {circuit.stats()}")
+
+    config = TestGenConfig(seed=42)
+    result = GaTestGenerator(circuit, config).run()
+
+    print(f"\n{result.summary()}")
+    print("\nphase transitions (vector index -> phase):")
+    for index, phase in result.phase_transitions:
+        print(f"  {index:4d} -> {phase.name}")
+
+    print("\nfirst detections (fault, at test-set frame):")
+    for fault, frame in result.detections[:8]:
+        print(f"  {fault.describe(circuit):20s} frame {frame}")
+
+    # Verify: replay the generated test set through a fresh simulator.
+    fsim = FaultSimulator(circuit)
+    fsim.commit(result.test_sequence)
+    print(
+        f"\nreplay check: {fsim.detected_count}/{fsim.num_faults} faults detected "
+        f"({100 * fsim.fault_coverage:.1f}% coverage) "
+        f"by {len(result.test_sequence)} vectors"
+    )
+    assert fsim.detected_count == result.detected, "replay mismatch!"
+    print("OK — the test set reproduces the reported coverage.")
+
+
+if __name__ == "__main__":
+    main()

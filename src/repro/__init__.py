@@ -1,0 +1,51 @@
+"""GATEST reproduction — GA-based sequential circuit test generation.
+
+Reproduction of E. M. Rudnick, J. H. Patel, G. S. Greenstein and
+T. M. Niermann, "Sequential Circuit Test Generation in a Genetic
+Algorithm Framework", Proc. Design Automation Conference, 1994.
+
+Top-level convenience imports cover the common workflow::
+
+    from repro import s27, GaTestGenerator, TestGenConfig
+    result = GaTestGenerator(s27(), TestGenConfig(seed=1)).run()
+    print(result.fault_coverage, len(result.test_sequence))
+"""
+
+__version__ = "1.0.0"
+
+from .circuit import (  # noqa: F401
+    Circuit,
+    GateType,
+    load_bench,
+    parse_bench,
+    s27,
+    synthesize_named,
+)
+
+__all__ = [
+    "Circuit",
+    "GateType",
+    "__version__",
+    "load_bench",
+    "parse_bench",
+    "s27",
+    "synthesize_named",
+]
+
+
+def _late_imports() -> None:
+    """Extend the public namespace once the heavier subpackages exist.
+
+    Kept in a function so that partial checkouts (circuit substrate only)
+    still import cleanly during bootstrapping.
+    """
+    global GaTestGenerator, TestGenConfig, FaultSimulator, generate_faults
+    from .core import GaTestGenerator, TestGenConfig  # noqa: F401
+    from .faults import FaultSimulator, generate_faults  # noqa: F401
+    __all__.extend(["GaTestGenerator", "TestGenConfig", "FaultSimulator", "generate_faults"])
+
+
+try:
+    _late_imports()
+except ImportError:  # pragma: no cover - only during bootstrap
+    pass

@@ -1,0 +1,27 @@
+"""Comparator test generators: random, CRIS-like, and deterministic ATPG."""
+
+from .contest import ContestLikeGenerator, ContestResult
+from .cris import CrisLikeGenerator, CrisResult
+from .deterministic import DeterministicAtpg, DeterministicResult
+from .podem import Podem, PodemResult, PodemStatus, Unrolled, unroll
+from .random_tpg import RandomTestGenerator, RandomTpgResult
+from .weighted_random import WeightedRandomGenerator, WeightedRandomResult, scoap_weights
+
+__all__ = [
+    "ContestLikeGenerator",
+    "ContestResult",
+    "CrisLikeGenerator",
+    "CrisResult",
+    "DeterministicAtpg",
+    "DeterministicResult",
+    "Podem",
+    "PodemResult",
+    "PodemStatus",
+    "RandomTestGenerator",
+    "WeightedRandomGenerator",
+    "WeightedRandomResult",
+    "scoap_weights",
+    "RandomTpgResult",
+    "Unrolled",
+    "unroll",
+]

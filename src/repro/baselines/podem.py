@@ -1,0 +1,387 @@
+"""PODEM test generation over an iterative-array (time-frame) expansion.
+
+This powers the deterministic, fault-oriented baseline (the paper's
+HITEC comparator — see DESIGN.md §3).  A sequential circuit is unrolled
+into ``n`` combinational time frames; the target fault is injected into
+*every* frame copy; the frame-0 present state is unknown and
+unassignable (so any test found is *self-initializing*, HITEC's
+conservative X-mode); and classic PODEM searches the frame PIs:
+
+* objective — activate the fault, then extend the D-frontier;
+* backtrace — walk an X-path from the objective to an assignable PI,
+  inverting through inverting gates;
+* imply — full 3-valued resimulation of good and faulty machines;
+* backtrack — flip the last untried decision, bounded by a limit.
+
+The implementation favors clarity over speed (full resimulation per
+decision); the GA generator is the fast path of this project, the
+deterministic engine is the comparator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.gates import GateType, X, eval_gate_scalar
+from ..circuit.netlist import Circuit
+from ..faults.model import STEM, Fault
+
+#: Non-controlling input value per gate family (for D-frontier objectives).
+_NONCONTROLLING = {
+    GateType.AND: 1,
+    GateType.NAND: 1,
+    GateType.OR: 0,
+    GateType.NOR: 0,
+}
+
+
+@dataclass
+class Unrolled:
+    """A sequential circuit expanded into ``frames`` combinational copies."""
+
+    circuit: Circuit                     # purely combinational view
+    frames: int
+    frame_pis: List[List[int]]           # per frame, unrolled PI node ids
+    xstate_nodes: List[int]              # frame-0 state nodes (unassignable)
+    observables: List[int]               # all frames' PO copies
+    copies_of: Dict[int, List[int]]      # original node id -> copies per frame
+
+    def fault_copies(self, fault: Fault) -> List[Fault]:
+        """The fault's injection sites in the unrolled circuit."""
+        return [
+            Fault(copy, fault.pin, fault.stuck_at)
+            for copy in self.copies_of[fault.node]
+        ]
+
+
+def unroll(circuit: Circuit, frames: int) -> Unrolled:
+    """Expand ``circuit`` into an iterative combinational array.
+
+    Frame-0 flip-flop outputs become pseudo-inputs held at X; frame-f
+    (f > 0) flip-flop outputs become buffers of the previous frame's D
+    signal.  DFF *nodes* are preserved as BUFF copies so that faults on
+    flip-flop outputs/pins map onto well-defined unrolled sites.
+    """
+    if frames < 1:
+        raise ValueError("need at least one frame")
+    out = Circuit(f"{circuit.name}[x{frames}]")
+    copies_of: Dict[int, List[int]] = {n: [] for n in range(circuit.num_nodes)}
+    frame_pis: List[List[int]] = []
+    xstate_nodes: List[int] = []
+    observables: List[int] = []
+
+    def cname(node_id: int, frame: int) -> str:
+        return f"{circuit.node_names[node_id]}@{frame}"
+
+    for frame in range(frames):
+        pis = []
+        for pi in circuit.inputs:
+            node = out.add_input(cname(pi, frame))
+            copies_of[pi].append(node)
+            pis.append(node)
+        frame_pis.append(pis)
+        for ff in circuit.dffs:
+            if frame == 0:
+                node = out.add_input(cname(ff, 0))
+                xstate_nodes.append(node)
+            else:
+                d_node = circuit.fanins[ff][0]
+                node = out.add_gate(
+                    cname(ff, frame), GateType.BUFF, [cname(d_node, frame - 1)]
+                )
+            copies_of[ff].append(node)
+        for node_id in circuit.topo_order:
+            gate_type = circuit.node_types[node_id]
+            fanins = [cname(f, frame) for f in circuit.fanins[node_id]]
+            node = out.add_gate(cname(node_id, frame), gate_type, fanins)
+            copies_of[node_id].append(node)
+        for po in circuit.outputs:
+            observables.append(out.mark_output(cname(po, frame)))
+    return Unrolled(
+        circuit=out.finalize(),
+        frames=frames,
+        frame_pis=frame_pis,
+        xstate_nodes=xstate_nodes,
+        observables=observables,
+        copies_of=copies_of,
+    )
+
+
+class PodemStatus(enum.Enum):
+    """How one PODEM search ended."""
+
+    SUCCESS = "success"
+    UNTESTABLE = "untestable"   # search space exhausted within this window
+    ABORTED = "aborted"         # backtrack limit hit
+
+
+@dataclass
+class PodemResult:
+    """Outcome of one PODEM search (assignment is PI node -> bit)."""
+
+    status: PodemStatus
+    assignment: Dict[int, int] = field(default_factory=dict)  # PI node -> bit
+    backtracks: int = 0
+    implications: int = 0
+
+    @property
+    def found(self) -> bool:
+        """True when a test was generated."""
+        return self.status is PodemStatus.SUCCESS
+
+
+class Podem:
+    """One PODEM search for one fault on one (possibly unrolled) circuit."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        fault_sites: Sequence[Fault],
+        assignable: Sequence[int],
+        observables: Sequence[int],
+        backtrack_limit: int = 1000,
+    ) -> None:
+        if not fault_sites:
+            raise ValueError("need at least one fault site")
+        self.circuit = circuit
+        self.fault_sites = list(fault_sites)
+        self.assignable = list(assignable)
+        self._assignable_set = set(assignable)
+        self.observables = list(observables)
+        self.backtrack_limit = backtrack_limit
+        self.good: List[int] = []
+        self.faulty: List[int] = []
+        self._stem_sites = {f.node: f.stuck_at for f in fault_sites if f.pin == STEM}
+        self._pin_sites = {
+            (f.node, f.pin): f.stuck_at for f in fault_sites if f.pin != STEM
+        }
+        self._has_support = self._compute_support()
+        self.implications = 0
+
+    # ------------------------------------------------------------------
+
+    def _compute_support(self) -> List[bool]:
+        """Per node: does its input cone contain an assignable input?"""
+        circuit = self.circuit
+        support = [False] * circuit.num_nodes
+        for node in self.assignable:
+            support[node] = True
+        for node_id in circuit.topo_order:
+            support[node_id] = any(support[f] for f in circuit.fanins[node_id])
+        return support
+
+    def _simulate(self, assignment: Dict[int, int]) -> None:
+        """Full 3-valued resimulation of good and faulty machines."""
+        circuit = self.circuit
+        n = circuit.num_nodes
+        good = [X] * n
+        faulty = [X] * n
+        for node, value in assignment.items():
+            good[node] = value
+            faulty[node] = value
+        for node, sa in self._stem_sites.items():
+            if circuit.node_types[node] is GateType.INPUT:
+                faulty[node] = sa
+        for node_id in circuit.topo_order:
+            fanins = circuit.fanins[node_id]
+            gate_type = circuit.node_types[node_id]
+            good[node_id] = eval_gate_scalar(
+                gate_type, (good[f] for f in fanins)
+            )
+            fvals = []
+            for pin, f in enumerate(fanins):
+                sa = self._pin_sites.get((node_id, pin))
+                fvals.append(faulty[f] if sa is None else sa)
+            value = eval_gate_scalar(gate_type, fvals)
+            sa = self._stem_sites.get(node_id)
+            faulty[node_id] = value if sa is None else sa
+        self.good = good
+        self.faulty = faulty
+        self.implications += 1
+
+    # ------------------------------------------------------------------
+
+    def _detected(self) -> bool:
+        return any(
+            self.good[o] != X
+            and self.faulty[o] != X
+            and self.good[o] != self.faulty[o]
+            for o in self.observables
+        )
+
+    def _pin_d_sites(self) -> List[int]:
+        """Faulted gates whose pin currently carries a *virtual* D.
+
+        A pin fault s-a-v is excited once its driver's good value is the
+        opposite of v; the difference then lives on the pin itself (no
+        node shows it), so the faulted gate must join the D-frontier
+        explicitly.
+        """
+        gates = []
+        for (gate, pin), sa in self._pin_sites.items():
+            driver = self.circuit.fanins[gate][pin]
+            if self.good[driver] != X and self.good[driver] == 1 - sa:
+                gates.append(gate)
+        return gates
+
+    def _d_frontier(self) -> List[int]:
+        """Gates with an unresolved output and a D/D' on some input."""
+        circuit = self.circuit
+        frontier = []
+        for node_id in circuit.topo_order:
+            # A gate is on the frontier while its composite output is not
+            # yet resolved (at least one plane X) but some input already
+            # carries a definite good/faulty difference (a D or D').
+            if self.good[node_id] != X and self.faulty[node_id] != X:
+                continue
+            for f in circuit.fanins[node_id]:
+                if (
+                    self.good[f] != X
+                    and self.faulty[f] != X
+                    and self.good[f] != self.faulty[f]
+                ):
+                    frontier.append(node_id)
+                    break
+        for gate in self._pin_d_sites():
+            if (
+                (self.good[gate] == X or self.faulty[gate] == X)
+                and gate not in frontier
+            ):
+                frontier.append(gate)
+        return frontier
+
+    def _activated(self) -> bool:
+        """Is a D/D' present anywhere (including on a faulted pin)?"""
+        if any(
+            self.good[n] != X and self.faulty[n] != X and self.good[n] != self.faulty[n]
+            for n in range(self.circuit.num_nodes)
+        ):
+            return True
+        return bool(self._pin_d_sites())
+
+    def _activation_objective(self) -> Optional[Tuple[int, int]]:
+        """Objective that sets some fault site's good value opposite the
+        stuck value (activating the fault)."""
+        for fault in self.fault_sites:
+            if fault.pin == STEM:
+                target, want = fault.node, 1 - fault.stuck_at
+                if self.circuit.node_types[target] is GateType.INPUT:
+                    if self.good[target] == X and target in self._assignable_set:
+                        return (target, want)
+                    continue
+                # Objective applies to the *good* value of the node; the
+                # faulty plane is pinned by injection.
+                if self.good[target] == X and self._has_support[target]:
+                    return (target, want)
+            else:
+                driver = self.circuit.fanins[fault.node][fault.pin]
+                want = 1 - fault.stuck_at
+                if self.good[driver] == X and self._has_support[driver]:
+                    return (driver, want)
+        return None
+
+    def _propagation_objective(self) -> Optional[Tuple[int, int]]:
+        """Pick a D-frontier gate and demand a non-controlling side value."""
+        for gate in self._d_frontier():
+            gate_type = self.circuit.node_types[gate]
+            noncontrolling = _NONCONTROLLING.get(gate_type)
+            for f in self.circuit.fanins[gate]:
+                if self.good[f] == X and self._has_support[f]:
+                    want = noncontrolling if noncontrolling is not None else 1
+                    return (f, want)
+        return None
+
+    def _objective(self) -> Optional[Tuple[int, int]]:
+        if not self._activated():
+            return self._activation_objective()
+        return self._propagation_objective()
+
+    def _backtrace(self, node: int, value: int) -> Optional[Tuple[int, int]]:
+        """Walk an X-path from (node, value) to an assignable input."""
+        circuit = self.circuit
+        guard = 0
+        while node not in self._assignable_set:
+            guard += 1
+            if guard > circuit.num_nodes:
+                return None
+            gate_type = circuit.node_types[node]
+            if gate_type is GateType.INPUT:
+                return None  # unassignable pseudo-input (X state)
+            # Choose an X-valued fanin with assignable support.
+            candidates = [
+                f for f in circuit.fanins[node]
+                if self.good[f] == X and self._has_support[f]
+            ]
+            if not candidates:
+                return None
+            # Easiest-first heuristic: lowest level (closest to inputs).
+            chosen = min(candidates, key=lambda f: circuit.levels[f])
+            if gate_type in (GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR):
+                value = 1 - value
+            elif gate_type in (GateType.XOR,):
+                # Parity through XOR depends on siblings; aim for `value`
+                # adjusted by known sibling parity.
+                parity = 0
+                for f in circuit.fanins[node]:
+                    if f != chosen and self.good[f] == 1:
+                        parity ^= 1
+                value = value ^ parity
+            node = chosen
+        if self.good[node] != X:
+            return None
+        return (node, value)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> PodemResult:
+        """Execute the PODEM search."""
+        assignment: Dict[int, int] = {}
+        #: decision stack: (pi node, value, tried_both)
+        stack: List[Tuple[int, int, bool]] = []
+        backtracks = 0
+        self._simulate(assignment)
+
+        while True:
+            if self._detected():
+                return PodemResult(
+                    status=PodemStatus.SUCCESS,
+                    assignment=dict(assignment),
+                    backtracks=backtracks,
+                    implications=self.implications,
+                )
+            objective = self._objective()
+            target = None
+            if objective is not None:
+                target = self._backtrace(*objective)
+            if target is None:
+                # Dead end: backtrack.
+                while stack:
+                    pi, value, tried_both = stack.pop()
+                    del assignment[pi]
+                    if not tried_both:
+                        backtracks += 1
+                        if backtracks > self.backtrack_limit:
+                            return PodemResult(
+                                status=PodemStatus.ABORTED,
+                                backtracks=backtracks,
+                                implications=self.implications,
+                            )
+                        assignment[pi] = 1 - value
+                        stack.append((pi, 1 - value, True))
+                        self._simulate(assignment)
+                        break
+                else:
+                    return PodemResult(
+                        status=PodemStatus.UNTESTABLE,
+                        backtracks=backtracks,
+                        implications=self.implications,
+                    )
+                continue
+            pi, value = target
+            assignment[pi] = value
+            stack.append((pi, value, False))
+            self._simulate(assignment)
+            # Early prune: no D anywhere and the fault can no longer be
+            # activated -> immediate backtrack next loop (objective None).

@@ -1,0 +1,108 @@
+"""Reader and writer for the ISCAS89 ``.bench`` netlist format.
+
+The format, as distributed with the ISCAS89 benchmark suite::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = DFF(G14)
+    G11 = NOT(G10)
+    G14 = NOR(G0, G11)
+
+Gate keywords are case-insensitive; node names are case-sensitive.
+Forward references are allowed (and ubiquitous in the real files).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Union
+
+from .gates import BENCH_NAMES, GateType
+from .netlist import Circuit, CircuitError
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*(.*?)\s*\)$")
+
+
+class BenchParseError(CircuitError):
+    """Raised on malformed ``.bench`` input, with a line number."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def parse_bench(text: str, name: str = "circuit") -> Circuit:
+    """Parse ``.bench`` source text into a finalized :class:`Circuit`."""
+    circuit = Circuit(name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            keyword, node_name = io_match.group(1).upper(), io_match.group(2)
+            if keyword == "INPUT":
+                if node_name in circuit.name_to_id and node_name not in circuit._declared:
+                    raise BenchParseError(lineno, f"input {node_name!r} already defined")
+                circuit.add_input(node_name)
+            else:
+                circuit.mark_output(node_name)
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match:
+            node_name, keyword, args = gate_match.groups()
+            gate_type = BENCH_NAMES.get(keyword.lower())
+            if gate_type is None:
+                raise BenchParseError(lineno, f"unknown gate type {keyword!r}")
+            fanins = [a.strip() for a in args.split(",") if a.strip()]
+            if not fanins:
+                raise BenchParseError(lineno, f"gate {node_name!r} has no fanins")
+            try:
+                if gate_type is GateType.DFF:
+                    if len(fanins) != 1:
+                        raise BenchParseError(lineno, "DFF must have exactly one input")
+                    circuit.add_dff(node_name, fanins[0])
+                else:
+                    circuit.add_gate(node_name, gate_type, fanins)
+            except CircuitError as exc:
+                raise BenchParseError(lineno, str(exc)) from exc
+            continue
+        raise BenchParseError(lineno, f"unparseable line: {raw.strip()!r}")
+    try:
+        return circuit.finalize()
+    except CircuitError as exc:
+        raise BenchParseError(0, str(exc)) from exc
+
+
+def load_bench(path: Union[str, Path]) -> Circuit:
+    """Load a ``.bench`` file from disk."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a circuit back to ``.bench`` text.
+
+    Round-trips through :func:`parse_bench` up to comment/whitespace and
+    ordering of declarations.
+    """
+    lines = [f"# {circuit.name}"]
+    for pi in circuit.inputs:
+        lines.append(f"INPUT({circuit.node_names[pi]})")
+    for po in circuit.outputs:
+        lines.append(f"OUTPUT({circuit.node_names[po]})")
+    for node_id, gate_type in enumerate(circuit.node_types):
+        if gate_type is GateType.INPUT:
+            continue
+        fanin_names = ", ".join(circuit.node_names[f] for f in circuit.fanins[node_id])
+        keyword = "DFF" if gate_type is GateType.DFF else gate_type.value.upper()
+        lines.append(f"{circuit.node_names[node_id]} = {keyword}({fanin_names})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(circuit: Circuit, path: Union[str, Path]) -> None:
+    """Write a circuit to a ``.bench`` file."""
+    Path(path).write_text(write_bench(circuit))

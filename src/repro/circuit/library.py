@@ -1,0 +1,161 @@
+"""Bundled and parametric example circuits.
+
+Two real benchmark netlists ship with the package (``s27`` from ISCAS89
+and ``c17`` from ISCAS85 — both small enough to be public knowledge and
+verified against their published descriptions).  The parametric builders
+construct well-understood sequential structures used throughout the test
+suite: their expected behaviour (sequential depth, initializability,
+detectable-fault sets) can be derived by hand.
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+from typing import List
+
+from .bench import parse_bench
+from .gates import GateType
+from .netlist import Circuit
+
+
+def _load_data(filename: str, name: str) -> Circuit:
+    text = resources.files("repro.circuit").joinpath("data", filename).read_text()
+    return parse_bench(text, name=name)
+
+
+def s27() -> Circuit:
+    """The ISCAS89 s27 benchmark (4 PIs, 1 PO, 3 DFFs, 10 gates)."""
+    return _load_data("s27.bench", "s27")
+
+
+def c17() -> Circuit:
+    """The ISCAS85 c17 benchmark (combinational; 5 PIs, 2 POs, 6 NANDs)."""
+    return _load_data("c17.bench", "c17")
+
+
+def shift_register(n: int) -> Circuit:
+    """An n-stage shift register: depth ``n``, trivially initializable.
+
+    ``din -> ff0 -> ff1 -> ... -> ff(n-1) -> dout``.  Every stuck-at fault
+    on the datapath is detectable by a sequence of length ``n + 1``.
+    """
+    if n < 1:
+        raise ValueError("shift register needs at least one stage")
+    circuit = Circuit(f"shift{n}")
+    circuit.add_input("din")
+    prev = "din"
+    for i in range(n):
+        # A buffer between stages gives the fault list combinational sites.
+        circuit.add_gate(f"b{i}", GateType.BUFF, [prev])
+        circuit.add_dff(f"ff{i}", f"b{i}")
+        prev = f"ff{i}"
+    circuit.add_gate("dout", GateType.BUFF, [prev])
+    circuit.mark_output("dout")
+    return circuit.finalize()
+
+
+def resettable_counter(n: int) -> Circuit:
+    """An n-bit synchronous binary counter with synchronous reset.
+
+    With ``rst = 1`` every flip-flop loads 0, so the circuit is
+    initializable in one vector — the friendly case for phase-1 fitness.
+    Bit *i* toggles when all lower bits are 1:
+    ``d[i] = ~rst & (q[i] ^ carry[i])`` with ``carry[0] = en``.
+    """
+    if n < 1:
+        raise ValueError("counter needs at least one bit")
+    circuit = Circuit(f"counter{n}")
+    circuit.add_input("rst")
+    circuit.add_input("en")
+    circuit.add_gate("nrst", GateType.NOT, ["rst"])
+    carry = "en"
+    for i in range(n):
+        q = f"q{i}"
+        circuit.add_gate(f"t{i}", GateType.XOR, [q, carry])
+        circuit.add_gate(f"d{i}", GateType.AND, [f"t{i}", "nrst"])
+        circuit.add_dff(q, f"d{i}")
+        circuit.mark_output(q)
+        if i + 1 < n:
+            new_carry = f"c{i + 1}"
+            circuit.add_gate(new_carry, GateType.AND, [carry, q])
+            carry = new_carry
+    return circuit.finalize()
+
+
+def parity_tracker() -> Circuit:
+    """A serial parity tracker with synchronous clear.
+
+    ``d = clr' AND (din XOR q)``.  Without asserting ``clr`` the state
+    stays unknown forever under three-valued simulation (X XOR v = X),
+    which makes this the canonical phase-1 stress case.
+    """
+    circuit = Circuit("parity")
+    circuit.add_input("din")
+    circuit.add_input("clr")
+    circuit.add_gate("nclr", GateType.NOT, ["clr"])
+    circuit.add_gate("x0", GateType.XOR, ["din", "q"])
+    circuit.add_gate("d0", GateType.AND, ["x0", "nclr"])
+    circuit.add_dff("q", "d0")
+    circuit.mark_output("q")
+    return circuit.finalize()
+
+
+def uninitializable_loop() -> Circuit:
+    """A flip-flop loop that three-valued simulation can never initialize.
+
+    ``q -> inv -> q`` with the observed value gated by a PI.  Used to test
+    that phase 1 gives up gracefully at its progress limit.
+    """
+    circuit = Circuit("uninit")
+    circuit.add_input("a")
+    circuit.add_gate("nq", GateType.XOR, ["q", "a"])
+    circuit.add_dff("q", "nq")
+    circuit.add_gate("out", GateType.AND, ["q", "a"])
+    circuit.mark_output("out")
+    return circuit.finalize()
+
+
+def mini_fsm() -> Circuit:
+    """A 2-bit Moore machine with reset, rich enough for ATPG tests.
+
+    States advance on ``go``; output asserts in state 3.  All flip-flops
+    initialize with one ``rst`` vector; most stuck-at faults need a short
+    state-walking sequence, exercising the sequence-generation phase.
+    """
+    circuit = Circuit("minifsm")
+    circuit.add_input("rst")
+    circuit.add_input("go")
+    circuit.add_gate("nrst", GateType.NOT, ["rst"])
+    # Next-state logic for a 2-bit counter gated by `go`.
+    circuit.add_gate("t0", GateType.XOR, ["s0", "go"])
+    circuit.add_gate("d0", GateType.AND, ["t0", "nrst"])
+    circuit.add_gate("c0", GateType.AND, ["s0", "go"])
+    circuit.add_gate("t1", GateType.XOR, ["s1", "c0"])
+    circuit.add_gate("d1", GateType.AND, ["t1", "nrst"])
+    circuit.add_dff("s0", "d0")
+    circuit.add_dff("s1", "d1")
+    circuit.add_gate("out", GateType.AND, ["s0", "s1"])
+    circuit.mark_output("out")
+    return circuit.finalize()
+
+
+def list_builtin() -> List[str]:
+    """Names of all circuits constructible by :func:`build_builtin`."""
+    return ["s27", "c17", "shift4", "counter3", "parity", "uninit", "minifsm"]
+
+
+def build_builtin(name: str) -> Circuit:
+    """Construct a bundled circuit by its :func:`list_builtin` name."""
+    builders = {
+        "s27": s27,
+        "c17": c17,
+        "shift4": lambda: shift_register(4),
+        "counter3": lambda: resettable_counter(3),
+        "parity": parity_tracker,
+        "uninit": uninitializable_loop,
+        "minifsm": mini_fsm,
+    }
+    try:
+        return builders[name]()
+    except KeyError:
+        raise KeyError(f"unknown builtin circuit {name!r}; see list_builtin()") from None

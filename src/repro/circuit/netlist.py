@@ -1,0 +1,313 @@
+"""Gate-level netlist model for synchronous sequential circuits.
+
+A :class:`Circuit` is a directed graph of nodes.  Node kinds:
+
+* ``INPUT`` — primary input (no fanin);
+* ``DFF`` — D flip-flop; exactly one fanin (the D input).  The node's
+  value during simulation is the *present-state* output Q;
+* combinational gates (AND/NAND/OR/NOR/NOT/BUFF/XOR/XNOR).
+
+Primary outputs are a designated subset of nodes (any node may be
+observed).  The model matches the ISCAS89 ``.bench`` view of the world:
+single clock, implicit and never modelled explicitly; flip-flops have no
+set/reset.
+
+Construction is two-phase: ``add_*`` calls build the graph (forward
+references allowed through :meth:`Circuit.declare`), then
+:meth:`Circuit.finalize` freezes it and computes the derived structures
+used everywhere else — levelized evaluation order, fanout lists,
+structural sequential depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .gates import GateType
+
+
+class CircuitError(Exception):
+    """Raised for structurally invalid netlists or misuse of the builder."""
+
+
+@dataclass
+class Node:
+    """Read-only view of one netlist node (handy for debugging/reporting)."""
+
+    id: int
+    name: str
+    type: GateType
+    fanin: Tuple[int, ...]
+    fanout: Tuple[int, ...]
+
+
+_UNRESOLVED = GateType.BUFF  # placeholder type for declared-but-undefined nodes
+
+
+class Circuit:
+    """A synchronous sequential gate-level circuit.
+
+    The heavy simulation code indexes the parallel arrays directly
+    (``node_types``, ``fanins``, ``topo_order`` …); user code should
+    prefer the accessor methods.
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self.node_names: List[str] = []
+        self.node_types: List[GateType] = []
+        self.fanins: List[Tuple[int, ...]] = []
+        self.fanouts: List[Tuple[int, ...]] = []
+        self.name_to_id: Dict[str, int] = {}
+        self.inputs: List[int] = []   # PI node ids, in declaration order
+        self.outputs: List[int] = []  # PO node ids, in declaration order
+        self.dffs: List[int] = []     # DFF node ids, in declaration order
+        self.topo_order: List[int] = []   # combinational nodes, level order
+        self.levels: List[int] = []       # per-node level (0 for PI/DFF)
+        self._declared: Dict[str, int] = {}  # declared but not yet defined
+        self._finalized = False
+        self._seq_depth: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Builder API
+    # ------------------------------------------------------------------
+
+    def declare(self, name: str) -> int:
+        """Return the id for ``name``, creating a placeholder if needed.
+
+        Used for forward references while parsing; every declared node
+        must be defined (given a type and fanins) before ``finalize``.
+        """
+        if name in self.name_to_id:
+            return self.name_to_id[name]
+        node_id = self._new_node(name, _UNRESOLVED, ())
+        self._declared[name] = node_id
+        return node_id
+
+    def add_input(self, name: str) -> int:
+        """Add a primary input node."""
+        node_id = self._define(name, GateType.INPUT, ())
+        self.inputs.append(node_id)
+        return node_id
+
+    def add_dff(self, name: str, d_input: str) -> int:
+        """Add a D flip-flop whose D input is the node named ``d_input``."""
+        node_id = self._define(name, GateType.DFF, (self.declare(d_input),))
+        self.dffs.append(node_id)
+        return node_id
+
+    def add_gate(self, name: str, gate_type: GateType, fanin_names: Sequence[str]) -> int:
+        """Add a combinational gate."""
+        if not gate_type.is_combinational:
+            raise CircuitError(
+                f"add_gate called with non-combinational type {gate_type}; "
+                "use add_input/add_dff"
+            )
+        if gate_type in (GateType.NOT, GateType.BUFF) and len(fanin_names) != 1:
+            raise CircuitError(f"{gate_type.value} gate {name!r} must have exactly one fanin")
+        if gate_type not in (GateType.NOT, GateType.BUFF) and len(fanin_names) < 1:
+            raise CircuitError(f"gate {name!r} has no fanins")
+        fanin_ids = tuple(self.declare(n) for n in fanin_names)
+        return self._define(name, gate_type, fanin_ids)
+
+    def mark_output(self, name: str) -> int:
+        """Mark an existing or forward-declared node as a primary output."""
+        node_id = self.declare(name)
+        self.outputs.append(node_id)
+        return node_id
+
+    def _new_node(self, name: str, gate_type: GateType, fanin: Tuple[int, ...]) -> int:
+        if self._finalized:
+            raise CircuitError("circuit is finalized; cannot add nodes")
+        node_id = len(self.node_names)
+        self.node_names.append(name)
+        self.node_types.append(gate_type)
+        self.fanins.append(fanin)
+        self.name_to_id[name] = node_id
+        return node_id
+
+    def _define(self, name: str, gate_type: GateType, fanin: Tuple[int, ...]) -> int:
+        if name in self._declared:
+            node_id = self._declared.pop(name)
+            self.node_types[node_id] = gate_type
+            self.fanins[node_id] = fanin
+            return node_id
+        if name in self.name_to_id:
+            raise CircuitError(f"node {name!r} defined twice")
+        return self._new_node(name, gate_type, fanin)
+
+    # ------------------------------------------------------------------
+    # Finalization and derived structure
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> "Circuit":
+        """Freeze the netlist and compute levels, fanouts and topo order.
+
+        Returns ``self`` so construction can be written fluently.
+        """
+        if self._finalized:
+            return self
+        if self._declared:
+            missing = sorted(self._declared)
+            raise CircuitError(f"nodes referenced but never defined: {missing}")
+        if not self.inputs and not self.dffs:
+            raise CircuitError("circuit has no primary inputs and no flip-flops")
+
+        fanout_lists: List[List[int]] = [[] for _ in self.node_names]
+        for node_id, fanin in enumerate(self.fanins):
+            for src in fanin:
+                fanout_lists[src].append(node_id)
+        self.fanouts = [tuple(f) for f in fanout_lists]
+
+        self._levelize()
+        self._finalized = True
+        return self
+
+    def _levelize(self) -> None:
+        """Compute combinational levels treating DFF outputs as sources.
+
+        Detects combinational cycles (illegal in this model).
+        """
+        n = len(self.node_names)
+        self.levels = [0] * n
+        # Kahn's algorithm over combinational edges only.  Edges into a DFF
+        # terminate a combinational path (the DFF output restarts at level 0).
+        indegree = [0] * n
+        for node_id, gate_type in enumerate(self.node_types):
+            if gate_type.is_combinational:
+                indegree[node_id] = len(self.fanins[node_id])
+        ready = [i for i in range(n) if indegree[i] == 0]
+        order: List[int] = []
+        head = 0
+        while head < len(ready):
+            node_id = ready[head]
+            head += 1
+            if self.node_types[node_id].is_combinational:
+                order.append(node_id)
+            for succ in self.fanouts[node_id]:
+                if not self.node_types[succ].is_combinational:
+                    continue
+                indegree[succ] -= 1
+                self.levels[succ] = max(self.levels[succ], self.levels[node_id] + 1)
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(ready) != n:
+            stuck = [self.node_names[i] for i in range(n) if indegree[i] > 0]
+            raise CircuitError(f"combinational cycle involving: {stuck[:10]}")
+        self.topo_order = order
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count (PIs + DFFs + gates)."""
+        return len(self.node_names)
+
+    @property
+    def num_inputs(self) -> int:
+        """Primary input count."""
+        return len(self.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        """Primary output count."""
+        return len(self.outputs)
+
+    @property
+    def num_dffs(self) -> int:
+        """Flip-flop count."""
+        return len(self.dffs)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of combinational gates (excludes PIs and DFFs)."""
+        return sum(1 for t in self.node_types if t.is_combinational)
+
+    def node(self, node_id: int) -> Node:
+        """Return a read-only view of one node."""
+        return Node(
+            id=node_id,
+            name=self.node_names[node_id],
+            type=self.node_types[node_id],
+            fanin=self.fanins[node_id],
+            fanout=self.fanouts[node_id] if self._finalized else (),
+        )
+
+    def id_of(self, name: str) -> int:
+        """Node id for ``name`` (raises ``KeyError`` if absent)."""
+        return self.name_to_id[name]
+
+    def iter_nodes(self) -> Iterable[Node]:
+        """Yield read-only views of every node."""
+        for node_id in range(self.num_nodes):
+            yield self.node(node_id)
+
+    def max_level(self) -> int:
+        """Deepest combinational level (0 for a circuit of wires only)."""
+        return max(self.levels, default=0)
+
+    def sequential_depth(self) -> int:
+        """Structural sequential depth per the paper's definition.
+
+        "The minimum number of flip-flops in a path between the primary
+        inputs and the furthest gate": for every node reachable from a PI
+        we compute the *minimum* number of DFF crossings on any PI-to-node
+        path, then take the maximum of that quantity over all reachable
+        nodes.  A purely combinational circuit has depth 0.
+        """
+        if self._seq_depth is not None:
+            return self._seq_depth
+        if not self._finalized:
+            raise CircuitError("finalize() must run before sequential_depth()")
+
+        INF = float("inf")
+        dist: List[float] = [INF] * self.num_nodes
+        # 0-1 BFS: edges into a DFF cost 1 (a flip-flop is crossed), all
+        # other edges cost 0.
+        from collections import deque
+
+        queue: deque = deque()
+        for pi in self.inputs:
+            dist[pi] = 0
+            queue.append(pi)
+        # Circuits with no PIs (autonomous) start from DFFs at depth 0.
+        if not self.inputs:
+            for ff in self.dffs:
+                dist[ff] = 0
+                queue.append(ff)
+        while queue:
+            node_id = queue.popleft()
+            d = dist[node_id]
+            for succ in self.fanouts[node_id]:
+                cost = 1 if self.node_types[succ] is GateType.DFF else 0
+                nd = d + cost
+                if nd < dist[succ]:
+                    dist[succ] = nd
+                    if cost == 0:
+                        queue.appendleft(succ)
+                    else:
+                        queue.append(succ)
+        finite = [d for d in dist if d is not INF and d != INF]
+        self._seq_depth = int(max(finite, default=0))
+        return self._seq_depth
+
+    def stats(self) -> Dict[str, int]:
+        """Summary statistics used by reports and the harness."""
+        return {
+            "inputs": self.num_inputs,
+            "outputs": self.num_outputs,
+            "dffs": self.num_dffs,
+            "gates": self.num_gates,
+            "nodes": self.num_nodes,
+            "levels": self.max_level(),
+            "seq_depth": self.sequential_depth(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Circuit({self.name!r}, pis={self.num_inputs}, pos={self.num_outputs}, "
+            f"dffs={self.num_dffs}, gates={self.num_gates})"
+        )

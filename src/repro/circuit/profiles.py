@@ -1,0 +1,125 @@
+"""Published structural profiles of the ISCAS89 benchmark circuits.
+
+The reproduction does not ship the ISCAS89 netlists (see DESIGN.md §3);
+instead, :mod:`repro.circuit.synth` generates a synthetic circuit matched
+to each member's profile.  PIs, sequential depth, and total fault counts
+for the circuits used in the paper come from the paper's Table 2; PO, DFF
+and gate counts are the published ISCAS89 characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class CircuitProfile:
+    """Structural summary of one benchmark circuit.
+
+    ``total_faults`` is the collapsed stuck-at fault count reported in the
+    paper's Table 2 (``None`` for circuits the paper does not list).
+    """
+
+    name: str
+    n_pi: int
+    n_po: int
+    n_ff: int
+    n_gates: int
+    seq_depth: int
+    total_faults: Optional[int] = None
+
+    def scaled(self, scale: float) -> "CircuitProfile":
+        """Return a proportionally smaller profile (same PIs).
+
+        Sequential depth scales with the rest of the structure (floor 2)
+        so a scaled circuit keeps the balance between deep pipeline
+        state and shallow control state — keeping full depth while
+        shrinking the flip-flop count would leave a pure pipeline, which
+        has very different test-generation dynamics.  Used by the test
+        suite and the pytest-benchmark targets; the full-scale harness
+        uses the unscaled profiles.
+        """
+        if not 0 < scale <= 1:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        if scale == 1.0:
+            return self
+        n_ff = max(1, round(self.n_ff * scale))
+        depth = min(max(2, round(self.seq_depth * scale)), self.seq_depth, n_ff)
+        return CircuitProfile(
+            name=f"{self.name}@{scale:g}",
+            n_pi=self.n_pi,
+            n_po=max(1, round(self.n_po * scale)),
+            n_ff=n_ff,
+            n_gates=max(4, round(self.n_gates * scale)),
+            seq_depth=max(1, depth),
+            total_faults=None,
+        )
+
+
+#: Profiles for every circuit appearing in the paper's tables, plus s27.
+ISCAS89_PROFILES: Dict[str, CircuitProfile] = {
+    p.name: p
+    for p in [
+        CircuitProfile("s27", 4, 1, 3, 10, 1, 32),
+        CircuitProfile("s298", 3, 6, 14, 119, 8, 308),
+        CircuitProfile("s344", 9, 11, 15, 160, 6, 342),
+        CircuitProfile("s349", 9, 11, 15, 161, 6, 350),
+        CircuitProfile("s382", 3, 6, 21, 158, 11, 399),
+        CircuitProfile("s386", 7, 7, 6, 159, 5, 384),
+        CircuitProfile("s400", 3, 6, 21, 162, 11, 426),
+        CircuitProfile("s444", 3, 6, 21, 181, 11, 474),
+        CircuitProfile("s526", 3, 6, 21, 193, 11, 555),
+        CircuitProfile("s641", 35, 24, 19, 379, 6, 467),
+        CircuitProfile("s713", 35, 23, 19, 393, 6, 581),
+        CircuitProfile("s820", 18, 19, 5, 289, 4, 850),
+        CircuitProfile("s832", 18, 19, 5, 287, 4, 870),
+        CircuitProfile("s1196", 14, 14, 18, 529, 4, 1242),
+        CircuitProfile("s1238", 14, 14, 18, 508, 4, 1355),
+        CircuitProfile("s1423", 17, 5, 74, 657, 10, 1515),
+        CircuitProfile("s1488", 8, 19, 6, 653, 5, 1486),
+        CircuitProfile("s1494", 8, 19, 6, 647, 5, 1506),
+        CircuitProfile("s5378", 35, 49, 179, 2779, 36, 4603),
+        CircuitProfile("s35932", 35, 320, 1728, 16065, 35, 39094),
+    ]
+}
+
+#: The circuits reported in Table 2, in the paper's row order.
+TABLE2_CIRCUITS: List[str] = [
+    "s298", "s344", "s349", "s382", "s386", "s400", "s444", "s526",
+    "s641", "s713", "s820", "s832", "s1196", "s1238", "s1423",
+    "s1488", "s1494", "s5378", "s35932",
+]
+
+#: Circuits appearing in the selection/crossover study (Table 3) — the
+#: paper omits circuits whose coverage was insensitive to the schemes.
+TABLE3_CIRCUITS: List[str] = [
+    "s298", "s386", "s526", "s820", "s832", "s1196", "s1238",
+    "s1423", "s1488", "s1494", "s5378",
+]
+
+#: Circuits in the mutation-rate study (Table 4).
+TABLE4_CIRCUITS: List[str] = [
+    "s298", "s386", "s820", "s832", "s1196", "s1238",
+    "s1423", "s1488", "s1494", "s5378",
+]
+
+#: Circuits in the coding/population study (Table 5) — same as Table 3.
+TABLE5_CIRCUITS: List[str] = list(TABLE3_CIRCUITS)
+
+#: Circuits in the fault-sampling study (Table 6).
+TABLE6_CIRCUITS: List[str] = [
+    "s298", "s382", "s386", "s526", "s820", "s832", "s1196",
+    "s1238", "s1423", "s1488", "s1494", "s5378", "s35932",
+]
+
+#: Circuits in the overlapping-population study (Table 7).
+TABLE7_CIRCUITS: List[str] = [
+    "s298", "s382", "s386", "s526", "s820", "s832", "s1196",
+    "s1238", "s1423", "s1488", "s1494", "s5378",
+]
+
+
+def get_profile(name: str) -> CircuitProfile:
+    """Look up a profile by circuit name (raises ``KeyError`` if unknown)."""
+    return ISCAS89_PROFILES[name]

@@ -1,0 +1,107 @@
+"""Structural validation checks for netlists.
+
+:func:`validate` runs every check and returns a list of
+:class:`Violation` records; :func:`check` raises on the first error-level
+violation.  The checks catch the netlist pathologies that would silently
+corrupt simulation results (dangling nodes, floating gates, fanin
+arity errors) and flag benign-but-suspicious structure (dead logic,
+unobservable flip-flops) as warnings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from .gates import GateType
+from .netlist import Circuit, CircuitError
+
+
+class Severity(enum.Enum):
+    """Violation severity: ERROR breaks simulation, WARNING is advisory."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One validation finding."""
+
+    severity: Severity
+    rule: str
+    node: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity.value}] {self.rule} @ {self.node}: {self.message}"
+
+
+def _reachable_to_outputs(circuit: Circuit) -> List[bool]:
+    """Nodes from which some primary output is reachable (through FFs too)."""
+    reach = [False] * circuit.num_nodes
+    stack = list(circuit.outputs)
+    for node_id in stack:
+        reach[node_id] = True
+    while stack:
+        node_id = stack.pop()
+        for src in circuit.fanins[node_id]:
+            if not reach[src]:
+                reach[src] = True
+                stack.append(src)
+    return reach
+
+
+def validate(circuit: Circuit) -> List[Violation]:
+    """Run all structural checks; returns findings (possibly empty)."""
+    violations: List[Violation] = []
+
+    def report(severity: Severity, rule: str, node_id: int, message: str) -> None:
+        violations.append(
+            Violation(severity, rule, circuit.node_names[node_id], message)
+        )
+
+    for node_id, gate_type in enumerate(circuit.node_types):
+        fanin = circuit.fanins[node_id]
+        if gate_type is GateType.INPUT and fanin:
+            report(Severity.ERROR, "input-fanin", node_id, "primary input has fanins")
+        if gate_type is GateType.DFF and len(fanin) != 1:
+            report(Severity.ERROR, "dff-arity", node_id, f"DFF has {len(fanin)} fanins")
+        if gate_type in (GateType.NOT, GateType.BUFF) and len(fanin) != 1:
+            report(
+                Severity.ERROR, "unary-arity", node_id,
+                f"{gate_type.value} has {len(fanin)} fanins",
+            )
+        if gate_type.is_combinational and gate_type not in (GateType.NOT, GateType.BUFF):
+            if len(fanin) < 2:
+                report(
+                    Severity.WARNING, "degenerate-gate", node_id,
+                    f"{gate_type.value} with {len(fanin)} fanin(s)",
+                )
+        if len(set(fanin)) != len(fanin):
+            report(Severity.WARNING, "duplicate-fanin", node_id, "repeated fanin net")
+
+    is_output = [False] * circuit.num_nodes
+    for po in circuit.outputs:
+        is_output[po] = True
+    reach = _reachable_to_outputs(circuit)
+    for node_id in range(circuit.num_nodes):
+        if not circuit.fanouts[node_id] and not is_output[node_id]:
+            report(
+                Severity.WARNING, "dangling", node_id,
+                "node drives nothing and is not an output",
+            )
+        elif not reach[node_id]:
+            report(
+                Severity.WARNING, "dead-logic", node_id,
+                "no path to any primary output",
+            )
+    return violations
+
+
+def check(circuit: Circuit) -> None:
+    """Raise :class:`CircuitError` on the first error-level violation."""
+    for violation in validate(circuit):
+        if violation.severity is Severity.ERROR:
+            raise CircuitError(str(violation))

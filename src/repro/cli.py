@@ -1,0 +1,274 @@
+"""Command-line interface: ``gatest``.
+
+Subcommands:
+
+* ``run`` — generate tests for a circuit (a ``.bench`` file, a bundled
+  circuit name, or an ISCAS89 synthetic stand-in) and optionally save
+  the test set;
+* ``fsim`` — fault-simulate a test-vector file against a circuit;
+* ``synth`` — emit a synthetic profile-matched circuit as ``.bench``;
+* ``info`` — print circuit statistics and fault-list size;
+* ``experiments`` — forwards to :mod:`repro.harness.experiments`.
+
+Test-vector files are plain text: one vector per line, characters
+``0``/``1`` (one per primary input), ``#`` comments allowed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baselines import DeterministicAtpg, RandomTestGenerator
+from .circuit import (
+    library,
+    load_bench,
+    synthesize_named,
+    write_bench,
+)
+from .circuit.profiles import ISCAS89_PROFILES
+from .core import GaTestGenerator, TestGenConfig
+from .faults import FaultSimulator
+
+
+def _load_circuit(spec: str, scale: float, seed: int):
+    """Resolve a circuit spec: path, builtin name, or profile name."""
+    path = Path(spec)
+    if path.suffix == ".bench" and path.exists():
+        return load_bench(path)
+    if spec in library.list_builtin():
+        return library.build_builtin(spec)
+    if spec.split("@")[0] in ISCAS89_PROFILES:
+        return synthesize_named(spec.split("@")[0], seed=seed, scale=scale)
+    raise SystemExit(
+        f"error: unknown circuit {spec!r} — give a .bench path, one of "
+        f"{library.list_builtin()}, or an ISCAS89 name like s298"
+    )
+
+
+def _write_tests(path: Path, vectors: List[List[int]]) -> None:
+    lines = ["# one test vector per line, one bit per primary input"]
+    lines += ["".join(str(b) for b in v) for v in vectors]
+    path.write_text("\n".join(lines) + "\n")
+
+
+def _read_tests(path: Path, n_pi: int) -> List[List[int]]:
+    vectors = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if len(line) != n_pi or any(ch not in "01" for ch in line):
+            raise SystemExit(
+                f"error: {path}:{lineno}: expected {n_pi} bits of 0/1, got {line!r}"
+            )
+        vectors.append([int(ch) for ch in line])
+    return vectors
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``gatest run``: generate tests with the selected engine."""
+    circuit = _load_circuit(args.circuit, args.scale, args.seed)
+    if args.engine == "ga":
+        config = TestGenConfig(
+            seed=args.seed,
+            selection=args.selection,
+            crossover=args.crossover,
+            coding=args.coding,
+            fault_sample=args.sample,
+            fault_model=args.fault_model,
+            n_islands=args.islands,
+        )
+        result = GaTestGenerator(circuit, config).run()
+        print(result.summary())
+        vectors = result.test_sequence
+        if args.compact:
+            from .core.compaction import compact_test_set
+
+            compaction = compact_test_set(circuit, vectors)
+            vectors = compaction.test_sequence
+            print(
+                f"compacted: {compaction.original_vectors} -> "
+                f"{compaction.compacted_vectors} vectors "
+                f"({100 * compaction.reduction:.0f}% smaller), "
+                f"coverage preserved"
+            )
+    elif args.engine == "hybrid":
+        from .core import HybridAtpg
+
+        config = TestGenConfig(seed=args.seed, fault_sample=args.sample)
+        result = HybridAtpg(circuit, config).run()
+        print(result.summary())
+        vectors = result.test_sequence
+    elif args.engine == "random":
+        result = RandomTestGenerator(circuit, seed=args.seed,
+                                     max_vectors=args.max_vectors or 1000).run()
+        print(
+            f"{result.circuit_name}: det {result.detected}/{result.total_faults} "
+            f"({100 * result.fault_coverage:.1f}%), vec {result.vectors}"
+        )
+        vectors = result.test_sequence
+    else:  # deterministic
+        result = DeterministicAtpg(circuit).run()
+        print(
+            f"{result.circuit_name}: det {result.detected}/{result.total_faults} "
+            f"({100 * result.fault_coverage:.1f}%), vec {result.vectors}, "
+            f"untestable {result.untestable}, aborted {result.aborted}"
+        )
+        vectors = result.test_sequence
+    if args.output:
+        _write_tests(Path(args.output), vectors)
+        print(f"wrote {len(vectors)} vectors to {args.output}")
+    return 0
+
+
+def cmd_fsim(args: argparse.Namespace) -> int:
+    """``gatest fsim``: fault-simulate a test-vector file."""
+    circuit = _load_circuit(args.circuit, args.scale, args.seed)
+    fsim = FaultSimulator(circuit)
+    vectors = _read_tests(Path(args.tests), circuit.num_inputs)
+    fsim.commit(vectors)
+    print(
+        f"{circuit.name}: {fsim.detected_count}/{fsim.num_faults} faults detected "
+        f"({100 * fsim.fault_coverage:.2f}%) by {len(vectors)} vectors"
+    )
+    if args.verbose:
+        for fault in fsim.undetected_faults():
+            print(f"  undetected: {fault.describe(circuit)}")
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    """``gatest synth``: emit a synthetic ISCAS89 stand-in."""
+    circuit = synthesize_named(args.name, seed=args.seed, scale=args.scale)
+    if args.format == "verilog":
+        from .circuit.verilog import write_verilog
+
+        text = write_verilog(circuit)
+    else:
+        text = write_bench(circuit)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {circuit.name} to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    """Convert between .bench and structural Verilog."""
+    source = Path(args.input)
+    if source.suffix == ".v":
+        from .circuit.verilog import load_verilog
+
+        circuit = load_verilog(source)
+    else:
+        circuit = load_bench(source)
+    target = Path(args.output)
+    if target.suffix == ".v":
+        from .circuit.verilog import save_verilog
+
+        save_verilog(circuit, target)
+    else:
+        from .circuit import save_bench
+
+        save_bench(circuit, target)
+    print(f"converted {source} -> {target} "
+          f"({circuit.num_gates} gates, {circuit.num_dffs} FFs)")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """``gatest info``: print circuit statistics."""
+    circuit = _load_circuit(args.circuit, args.scale, args.seed)
+    stats = circuit.stats()
+    for key, value in stats.items():
+        print(f"{key:10s} {value}")
+    fsim = FaultSimulator(circuit)
+    print(f"{'faults':10s} {fsim.num_faults} (collapsed)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (see module docstring for the subcommands)."""
+    parser = argparse.ArgumentParser(
+        prog="gatest",
+        description="GA-based sequential circuit test generation (GATEST reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="generate tests for a circuit")
+    run.add_argument("circuit")
+    run.add_argument(
+        "--engine",
+        choices=["ga", "random", "deterministic", "hybrid"],
+        default="ga",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--selection", default="tournament")
+    run.add_argument("--crossover", default="uniform")
+    run.add_argument("--coding", default="binary")
+    run.add_argument("--sample", type=int, default=None,
+                     help="fault sample size for fitness evaluation")
+    run.add_argument("--fault-model", choices=["stuck-at", "transition"],
+                     default="stuck-at")
+    run.add_argument("--islands", type=int, default=1,
+                     help="island-model GA: islands per GA run")
+    run.add_argument("--compact", action="store_true",
+                     help="statically compact the generated test set")
+    run.add_argument("--max-vectors", type=int, default=None)
+    run.add_argument("-o", "--output", default=None, help="write test vectors here")
+    run.set_defaults(func=cmd_run)
+
+    fsim = sub.add_parser("fsim", help="fault-simulate a test file")
+    fsim.add_argument("circuit")
+    fsim.add_argument("tests")
+    fsim.add_argument("--seed", type=int, default=0)
+    fsim.add_argument("--scale", type=float, default=1.0)
+    fsim.add_argument("-v", "--verbose", action="store_true")
+    fsim.set_defaults(func=cmd_fsim)
+
+    synth = sub.add_parser("synth", help="emit a synthetic ISCAS89 stand-in")
+    synth.add_argument("name", choices=sorted(ISCAS89_PROFILES))
+    synth.add_argument("--seed", type=int, default=0)
+    synth.add_argument("--scale", type=float, default=1.0)
+    synth.add_argument("--format", choices=["bench", "verilog"], default="bench")
+    synth.add_argument("-o", "--output", default=None)
+    synth.set_defaults(func=cmd_synth)
+
+    convert = sub.add_parser(
+        "convert", help="convert between .bench and structural Verilog (.v)"
+    )
+    convert.add_argument("input")
+    convert.add_argument("output")
+    convert.set_defaults(func=cmd_convert)
+
+    info = sub.add_parser("info", help="circuit statistics")
+    info.add_argument("circuit")
+    info.add_argument("--seed", type=int, default=0)
+    info.add_argument("--scale", type=float, default=1.0)
+    info.set_defaults(func=cmd_info)
+
+    sub.add_parser(
+        "experiments",
+        help="regenerate the paper's tables (forwards to repro.harness.experiments)",
+        add_help=False,
+    )
+
+    # argparse's REMAINDER handling of leading options is unreliable, so
+    # the experiments passthrough is dispatched before parsing.
+    raw = list(sys.argv[1:]) if argv is None else list(argv)
+    if raw and raw[0] == "experiments":
+        from .harness.experiments import main as experiments_main
+
+        return experiments_main(raw[1:])
+
+    args = parser.parse_args(raw)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

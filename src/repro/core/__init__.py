@@ -1,0 +1,52 @@
+"""GATEST core: the paper's contribution (config, fitness, phases, generator)."""
+
+from .checkpoint import CheckpointError, circuit_fingerprint, load_checkpoint, save_checkpoint
+from .compaction import CompactionResult, TestSetCompactor, compact_test_set
+from .config import (
+    DEEP_CIRCUITS,
+    GaSchedule,
+    TestGenConfig,
+    ga_params_for_vector_length,
+)
+from .fitness import (
+    FitnessContext,
+    Phase,
+    fitness_for_phase,
+    phase1_fitness,
+    phase2_fitness,
+    phase3_fitness,
+    phase4_fitness,
+)
+from .generator import GaTestGenerator, generate_tests
+from .hybrid import HybridAtpg, HybridResult, run_hybrid
+from .phases import PhaseTracker
+from .results import StageEvent, TestGenResult
+
+__all__ = [
+    "CheckpointError",
+    "circuit_fingerprint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "CompactionResult",
+    "DEEP_CIRCUITS",
+    "FitnessContext",
+    "TestSetCompactor",
+    "compact_test_set",
+    "GaSchedule",
+    "GaTestGenerator",
+    "HybridAtpg",
+    "HybridResult",
+    "run_hybrid",
+    "Phase",
+    "PhaseTracker",
+    "StageEvent",
+    "TestGenConfig",
+    "TestGenResult",
+    "fitness_for_phase",
+    "ga_params_for_vector_length",
+    "generate_tests",
+    "phase1_fitness",
+    "phase2_fitness",
+    "phase3_fitness",
+    "phase4_fitness",
+]

@@ -1,0 +1,130 @@
+"""Checkpointing for long test-generation campaigns.
+
+The paper's largest run (s35932, full fault list) took 105 hours on its
+hardware; campaigns of that length need to survive interruption.  A
+checkpoint captures everything needed to continue generating tests for
+a circuit: the test set committed so far, every fault's status, the
+good-machine state, and the per-fault divergences — i.e., a faithful
+JSON rendering of :class:`~repro.faults.simulator.SimSnapshot` plus the
+vectors that produced it.
+
+The circuit itself is *not* stored; a fingerprint (structural hash) is,
+and :func:`load_checkpoint` refuses to restore onto a different
+netlist.  Typical usage::
+
+    sim = FaultSimulator(circuit)
+    sim.commit(first_batch)
+    save_checkpoint("run.ckpt.json", sim, test_sequence=first_batch)
+    ...
+    sim, vectors = load_checkpoint("run.ckpt.json", circuit)
+    sim.commit(next_batch)   # continues where the first session stopped
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..circuit.netlist import Circuit
+from ..faults.model import Fault, FaultStatus
+from ..faults.simulator import FaultSimulator
+from ..sim.compile import CompiledCircuit, compile_circuit
+from ..sim.logic3 import GoodState
+
+FORMAT_VERSION = 1
+
+
+class CheckpointError(Exception):
+    """Raised on version or circuit-fingerprint mismatches."""
+
+
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """Stable structural hash of a netlist (names, types, edges, I/O)."""
+    hasher = hashlib.sha256()
+    for node_id in range(circuit.num_nodes):
+        hasher.update(circuit.node_names[node_id].encode())
+        hasher.update(circuit.node_types[node_id].value.encode())
+        for fanin in circuit.fanins[node_id]:
+            hasher.update(str(fanin).encode())
+    hasher.update(b"|")
+    hasher.update(",".join(map(str, circuit.inputs)).encode())
+    hasher.update(",".join(map(str, circuit.outputs)).encode())
+    return hasher.hexdigest()
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    simulator: FaultSimulator,
+    test_sequence: Optional[Sequence[Sequence[int]]] = None,
+) -> None:
+    """Write the simulator's committed state (and the test set) as JSON."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "circuit": simulator.circuit.name,
+        "fingerprint": circuit_fingerprint(simulator.circuit),
+        "word_width": simulator.word_width,
+        "faults": [
+            [f.node, f.pin, f.stuck_at] for f in simulator.faults
+        ],
+        "status": [
+            s is FaultStatus.DETECTED for s in simulator.status
+        ],
+        "good_state": simulator.good_state.ff_values,
+        "divergence": {
+            str(fault_id): divergence
+            for fault_id, divergence in simulator.divergence.items()
+        },
+        "vectors_applied": simulator.vectors_applied,
+        "detections": [
+            [[f.node, f.pin, f.stuck_at], frame]
+            for f, frame in simulator.detections
+        ],
+        "test_sequence": [list(v) for v in (test_sequence or [])],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_checkpoint(
+    path: Union[str, Path],
+    circuit: Union[Circuit, CompiledCircuit],
+) -> Tuple[FaultSimulator, List[List[int]]]:
+    """Reconstruct a simulator (and the stored test set) from JSON.
+
+    The circuit must match the checkpoint's fingerprint exactly.
+    """
+    compiled = (
+        circuit if isinstance(circuit, CompiledCircuit) else compile_circuit(circuit)
+    )
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint format {payload.get('format')!r}"
+        )
+    if payload["fingerprint"] != circuit_fingerprint(compiled.circuit):
+        raise CheckpointError(
+            f"checkpoint was taken on circuit {payload['circuit']!r} with a "
+            "different structure; refusing to restore"
+        )
+    faults = [Fault(n, p, s) for n, p, s in payload["faults"]]
+    simulator = FaultSimulator(
+        compiled, faults=faults, word_width=payload["word_width"]
+    )
+    simulator.status = [
+        FaultStatus.DETECTED if detected else FaultStatus.UNDETECTED
+        for detected in payload["status"]
+    ]
+    simulator.active = [
+        i for i, s in enumerate(simulator.status) if s is FaultStatus.UNDETECTED
+    ]
+    simulator.good_state = GoodState(list(payload["good_state"]))
+    simulator.divergence = {
+        int(fault_id): {int(k): v for k, v in divergence.items()}
+        for fault_id, divergence in payload["divergence"].items()
+    }
+    simulator.vectors_applied = payload["vectors_applied"]
+    simulator.detections = [
+        (Fault(*fault), frame) for fault, frame in payload["detections"]
+    ]
+    return simulator, [list(v) for v in payload["test_sequence"]]

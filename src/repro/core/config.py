@@ -1,0 +1,182 @@
+"""GATEST configuration: the paper's parameter schedules and knobs.
+
+Table 1 of the paper keys the GA's population size and mutation rate to
+the vector length (number of primary inputs); §III fixes the sequence-
+generation GA at population 32 and mutation 1/64; §V describes the
+per-circuit progress limits and sequence-length schedules (s5378 and
+s35932, whose sequential depths are very large, use smaller multiples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class GaSchedule:
+    """Population size and mutation rate for one GA run."""
+
+    population_size: int
+    mutation_rate: float
+
+
+def ga_params_for_vector_length(length: int) -> GaSchedule:
+    """Table 1: GA parameter values for individual-test-vector generation.
+
+    ========  ===========  ====================
+    L         population   mutation probability
+    ========  ===========  ====================
+    < 4       8            1/8
+    4 - 16    16           1/16
+    > 16      16           1/L
+    ========  ===========  ====================
+    """
+    if length < 1:
+        raise ValueError("vector length must be positive")
+    if length < 4:
+        return GaSchedule(population_size=8, mutation_rate=1 / 8)
+    if length <= 16:
+        return GaSchedule(population_size=16, mutation_rate=1 / 16)
+    return GaSchedule(population_size=16, mutation_rate=1 / length)
+
+
+#: §III-D / §V defaults for the sequence-generation GA.
+SEQUENCE_POPULATION_SIZE = 32
+SEQUENCE_MUTATION_RATE = 1 / 64
+DEFAULT_GENERATIONS = 8
+
+#: Circuits the paper runs with reduced progress limits and sequence
+#: lengths because of their very large sequential depth (§V).
+DEEP_CIRCUITS = ("s5378", "s35932")
+
+
+@dataclass(frozen=True)
+class TestGenConfig:
+    """All knobs of one GATEST run.
+
+    Defaults reproduce the paper's main configuration (Table 2):
+    tournament selection without replacement, uniform crossover, binary
+    coding, nonoverlapping populations, no fault sampling, progress limit
+    of 4x the sequential depth and sequence lengths of 1x/2x/4x the
+    sequential depth.
+    """
+
+    __test__ = False  # "Test" prefix confuses pytest collection otherwise
+
+    seed: int = 0
+    selection: str = "tournament"
+    crossover: str = "uniform"
+    coding: str = "binary"
+    generations: int = DEFAULT_GENERATIONS
+    generation_gap: float = 1.0
+
+    #: Multiplier on population size when overlapping generations are used
+    #: (the paper scales N up as G shrinks; see Table 7 reproduction).
+    population_scale: float = 1.0
+
+    seq_population_size: int = SEQUENCE_POPULATION_SIZE
+    seq_mutation_rate: float = SEQUENCE_MUTATION_RATE
+
+    #: Progress limit for vector generation, as a multiple of sequential
+    #: depth ("a small multiple of the sequential depth", §III).
+    vector_progress_multiplier: float = 4.0
+    #: Sequence lengths to try, as multiples of sequential depth (§III).
+    seq_length_multipliers: Tuple[float, ...] = (1.0, 2.0, 4.0)
+    #: Consecutive failed GA attempts before abandoning a sequence length.
+    seq_fail_limit: int = 4
+
+    #: Fault sample for fitness evaluation: ``None`` (full list), an int
+    #: (fixed size, Table 6) or a float in (0, 1) (fraction).
+    fault_sample: Optional[object] = None
+
+    #: Whether phase 3 adds the activity term (costs an extra pass; the
+    #: paper always uses it — disabling is for the ablation bench).
+    use_activity_fitness: bool = True
+
+    #: Hard cap on total vectors committed (safety net for the test
+    #: suite; the paper has no such cap).
+    max_vectors: Optional[int] = None
+
+    #: Bit-slots per fault-simulation word group.
+    word_width: int = 64
+
+    #: Fault model: "stuck-at" (the paper's model) or "transition"
+    #: (conclusion's "other fault models" extension — slow-to-rise/fall
+    #: under the conditional stuck-at approximation).
+    fault_model: str = "stuck-at"
+
+    #: Island-model GA (conclusion's "parallel implementations"
+    #: extension): number of islands per GA run (1 = the paper's plain
+    #: GA) and generations between ring migrations.
+    n_islands: int = 1
+    migration_interval: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_islands < 1:
+            raise ValueError("n_islands must be >= 1")
+        if self.fault_model not in ("stuck-at", "transition"):
+            raise ValueError(
+                f"unknown fault model {self.fault_model!r}; "
+                "choose 'stuck-at' or 'transition'"
+            )
+        if self.generations < 1:
+            raise ValueError("generations must be >= 1")
+        if self.seq_fail_limit < 1:
+            raise ValueError("seq_fail_limit must be >= 1")
+        if not 0.0 < self.generation_gap <= 1.0:
+            raise ValueError("generation gap must be in (0, 1]")
+        if self.population_scale <= 0:
+            raise ValueError("population_scale must be positive")
+
+    def for_circuit(self, circuit_name: str) -> "TestGenConfig":
+        """Apply the paper's per-circuit overrides (deep circuits)."""
+        base = circuit_name.split("@", 1)[0]  # scaled profiles keep the name
+        if base in DEEP_CIRCUITS:
+            return replace(
+                self,
+                vector_progress_multiplier=1.0,
+                seq_length_multipliers=(0.25, 0.5, 1.0),
+            )
+        return self
+
+    def vector_ga_schedule(self, n_pi: int) -> GaSchedule:
+        """Table 1 schedule, with the population scaled for Table 7 runs."""
+        schedule = ga_params_for_vector_length(n_pi)
+        if self.population_scale != 1.0:
+            schedule = GaSchedule(
+                population_size=max(
+                    2, round(schedule.population_size * self.population_scale)
+                ),
+                mutation_rate=schedule.mutation_rate,
+            )
+        return schedule
+
+    def sequence_ga_schedule(self) -> GaSchedule:
+        """Sequence-phase GA schedule (§III-D), population-scaled."""
+        schedule = GaSchedule(
+            population_size=self.seq_population_size,
+            mutation_rate=self.seq_mutation_rate,
+        )
+        if self.population_scale != 1.0:
+            schedule = GaSchedule(
+                population_size=max(
+                    2, round(schedule.population_size * self.population_scale)
+                ),
+                mutation_rate=schedule.mutation_rate,
+            )
+        return schedule
+
+    def progress_limit(self, seq_depth: int) -> int:
+        """Noncontributing-vector limit before switching to sequences."""
+        return max(1, round(self.vector_progress_multiplier * max(1, seq_depth)))
+
+    def sequence_lengths(self, seq_depth: int) -> Tuple[int, ...]:
+        """Concrete sequence lengths for a circuit, shortest first."""
+        depth = max(1, seq_depth)
+        lengths = []
+        for multiplier in self.seq_length_multipliers:
+            length = max(1, round(multiplier * depth))
+            if length not in lengths:
+                lengths.append(length)
+        return tuple(lengths)

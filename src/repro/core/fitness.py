@@ -1,0 +1,96 @@
+"""The four-phase fitness functions (paper §III-B).
+
+All fitnesses are non-negative (required by the proportionate selection
+schemes) and constructed so that the dominant objective of each phase
+strictly outranks its tiebreak terms:
+
+* **Phase 1** (initialization): ``FFs set`` dominates; the fraction of
+  FFs toggling breaks ties between equally-initializing vectors.
+* **Phase 2** (detection): ``faults detected`` dominates; fault effects
+  parked at flip-flops break ties (they may reach a PO next frame).  The
+  propagation term is divided by (#faults)(#FFs) so it is < 1.
+* **Phase 3** (no recent progress): phase 2 plus a circuit-activity
+  term, ``2 * events / (nodes * faults)``, to reward vectors that at
+  least excite and move fault effects around.
+* **Phase 4** (sequence generation): as phase 2, but the propagation
+  metric accumulates over the sequence's time frames — the paper states
+  the sequence length "is included in the metric".  (The paper's
+  displayed phase-4 formula omits phase 2's normalizing denominator; we
+  keep the denominator so that detection remains the dominant term,
+  following the prose "the fitness function used is the same as that for
+  the second phase ... except that the test sequence length is included".)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..faults.simulator import CandidateEval
+
+
+class Phase(enum.Enum):
+    """Test-generation phases (Figures 1 and 2 of the paper)."""
+
+    INITIALIZATION = 1
+    DETECTION = 2
+    ACTIVITY = 3
+    SEQUENCES = 4
+
+
+@dataclass(frozen=True)
+class FitnessContext:
+    """Static circuit quantities the fitness normalizers need."""
+
+    num_ffs: int
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("circuit must have nodes")
+
+
+def phase1_fitness(evaluation: CandidateEval, ctx: FitnessContext) -> float:
+    """fitness = total FFs set + fraction of FFs changed."""
+    if ctx.num_ffs == 0:
+        return 0.0
+    return evaluation.ffs_set + evaluation.ffs_changed / ctx.num_ffs
+
+
+def phase2_fitness(evaluation: CandidateEval, ctx: FitnessContext) -> float:
+    """fitness = #detected + #propagated-to-FFs / (#faults * #FFs)."""
+    fitness = float(evaluation.detected)
+    denom = evaluation.num_faults_simulated * ctx.num_ffs
+    if denom > 0:
+        fitness += evaluation.prop_final / denom
+    return fitness
+
+
+def phase3_fitness(evaluation: CandidateEval, ctx: FitnessContext) -> float:
+    """Phase 2 plus 2 * (good+faulty events) / (#nodes * #faults)."""
+    fitness = phase2_fitness(evaluation, ctx)
+    denom = ctx.num_nodes * max(1, evaluation.num_faults_simulated)
+    events = evaluation.good_events + evaluation.faulty_events
+    return fitness + 2.0 * events / denom
+
+
+def phase4_fitness(evaluation: CandidateEval, ctx: FitnessContext) -> float:
+    """Sequence fitness: detection + per-frame-accumulated propagation."""
+    fitness = float(evaluation.detected)
+    denom = evaluation.num_faults_simulated * ctx.num_ffs
+    if denom > 0:
+        fitness += evaluation.prop_sum / denom
+    return fitness
+
+
+def fitness_for_phase(phase: Phase, evaluation: CandidateEval, ctx: FitnessContext) -> float:
+    """Dispatch to the right phase's fitness function."""
+    if phase is Phase.INITIALIZATION:
+        return phase1_fitness(evaluation, ctx)
+    if phase is Phase.DETECTION:
+        return phase2_fitness(evaluation, ctx)
+    if phase is Phase.ACTIVITY:
+        return phase3_fitness(evaluation, ctx)
+    if phase is Phase.SEQUENCES:
+        return phase4_fitness(evaluation, ctx)
+    raise ValueError(f"unknown phase {phase!r}")

@@ -1,0 +1,281 @@
+"""GATEST: the GA-based sequential-circuit test generator (paper §III).
+
+The generator alternates two stages (Figure 1):
+
+1. **Individual test vectors** — one GA run per time frame evolves the
+   best next vector under the phase-1/2/3 fitness functions; every best
+   vector is committed (even noncontributing ones — they advance the
+   state and are counted against the progress limit, Figure 2).
+2. **Test sequences** — once the progress limit is hit, GA runs evolve
+   whole vector sequences (phase-4 fitness) at increasing lengths.  Each
+   attempt starts from a fresh random population; a sequence is added to
+   the test set only if it improves fault coverage, and a length is
+   abandoned after ``seq_fail_limit`` consecutive fruitless attempts.
+
+Fitness evaluation is delegated to the PROOFS-style fault simulator; the
+phase-1 good-machine fitness uses the pattern-parallel simulator to
+score a whole population in one pass.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..circuit.netlist import Circuit
+from ..faults.model import Fault
+from ..faults.sampling import make_sampler
+from ..faults.simulator import FaultSimulator
+from ..ga.chromosome import make_coding
+from ..ga.engine import GAParams, GeneticAlgorithm
+from ..sim.compile import CompiledCircuit, compile_circuit
+from ..sim.logic3 import PatternSimulator
+from .config import TestGenConfig
+from .fitness import FitnessContext, Phase, fitness_for_phase, phase1_fitness
+from .phases import PhaseTracker
+from .results import StageEvent, TestGenResult
+
+
+class GaTestGenerator:
+    """One GATEST run over one circuit.
+
+    >>> from repro.circuit import s27
+    >>> from repro.core import GaTestGenerator, TestGenConfig
+    >>> result = GaTestGenerator(s27(), TestGenConfig(seed=1)).run()
+    >>> result.fault_coverage > 0.5
+    True
+    """
+
+    def __init__(
+        self,
+        circuit: Union[Circuit, CompiledCircuit],
+        config: Optional[TestGenConfig] = None,
+        faults: Optional[List[Fault]] = None,
+    ) -> None:
+        compiled = (
+            circuit if isinstance(circuit, CompiledCircuit) else compile_circuit(circuit)
+        )
+        self.compiled = compiled
+        self.circuit = compiled.circuit
+        self.config = (config or TestGenConfig()).for_circuit(self.circuit.name)
+        self.rng = random.Random(self.config.seed)
+        if self.config.fault_model == "transition":
+            from ..faults.transition import TransitionFaultSimulator
+
+            self.fsim = TransitionFaultSimulator(
+                compiled, faults=faults, word_width=self.config.word_width
+            )
+        else:
+            self.fsim = FaultSimulator(
+                compiled, faults=faults, word_width=self.config.word_width
+            )
+        self.sampler = make_sampler(self.config.fault_sample)
+        self.ctx = FitnessContext(
+            num_ffs=compiled.num_ffs, num_nodes=compiled.num_nodes
+        )
+        self.ga_runs = 0
+        self.ga_evaluations = 0
+        self.trace: List[StageEvent] = []
+        self.test_sequence: List[List[int]] = []
+
+    # ------------------------------------------------------------------
+    # Evaluators
+    # ------------------------------------------------------------------
+
+    def _phase1_evaluator(self, coding):
+        """Population-parallel good-machine fitness (phase 1)."""
+
+        def evaluate(chromosomes):
+            n = len(chromosomes)
+            sim = PatternSimulator(self.compiled, n_slots=n)
+            sim.begin(self.fsim.good_state)
+            vectors = [coding.decode(c)[0] for c in chromosomes]
+            stats = sim.step(vectors, count_events=False)
+            fitnesses = []
+            for s in range(n):
+                # Build a minimal CandidateEval-alike via the fitness fn's
+                # fields; phase 1 needs only ffs_set / ffs_changed.
+                fitnesses.append(
+                    stats.ffs_set[s] + (
+                        stats.ffs_changed[s] / self.ctx.num_ffs
+                        if self.ctx.num_ffs else 0.0
+                    )
+                )
+            return fitnesses
+
+        return evaluate
+
+    def _fault_evaluator(self, coding, phase: Phase, sample: Sequence[int]):
+        """Per-candidate fault-simulation fitness (phases 2, 3, 4)."""
+        count_events = (
+            phase is Phase.ACTIVITY and self.config.use_activity_fitness
+        )
+        effective_phase = phase
+        if phase is Phase.ACTIVITY and not self.config.use_activity_fitness:
+            effective_phase = Phase.DETECTION
+
+        def evaluate(chromosomes):
+            phenotypes = [coding.decode(c) for c in chromosomes]
+            evaluations = self.fsim.evaluate_batch(
+                phenotypes, sample=sample, count_faulty_events=count_events
+            )
+            return [
+                fitness_for_phase(effective_phase, evaluation, self.ctx)
+                for evaluation in evaluations
+            ]
+
+        return evaluate
+
+    # ------------------------------------------------------------------
+    # GA wrappers
+    # ------------------------------------------------------------------
+
+    def _run_ga(self, coding, evaluator, schedule) -> List[int]:
+        """One GA run; returns the best chromosome evolved."""
+        n_islands = self.config.n_islands
+        population = schedule.population_size
+        if n_islands > 1:
+            population = max(2, round(population / n_islands))
+        params = GAParams(
+            population_size=population,
+            generations=self.config.generations,
+            selection=self.config.selection,
+            crossover=self.config.crossover,
+            mutation_rate=schedule.mutation_rate,
+            generation_gap=self.config.generation_gap,
+        )
+        if n_islands > 1:
+            from ..ga.islands import IslandGA, IslandParams
+
+            ga = IslandGA(
+                coding, evaluator, params,
+                island_params=IslandParams(
+                    n_islands=n_islands,
+                    migration_interval=self.config.migration_interval,
+                ),
+                rng=self.rng,
+            )
+        else:
+            ga = GeneticAlgorithm(coding, evaluator, params, rng=self.rng)
+        result = ga.run()
+        self.ga_runs += 1
+        self.ga_evaluations += result.evaluations
+        return result.best.chromosome
+
+    def _evolve_vector(self, phase: Phase) -> List[int]:
+        coding = make_coding("binary", self.compiled.num_pis, 1)
+        schedule = self.config.vector_ga_schedule(self.compiled.num_pis)
+        if phase is Phase.INITIALIZATION:
+            evaluator = self._phase1_evaluator(coding)
+        else:
+            sample = self.sampler.sample(self.fsim.active, self.rng)
+            evaluator = self._fault_evaluator(coding, phase, sample)
+        best = self._run_ga(coding, evaluator, schedule)
+        return coding.decode(best)[0]
+
+    def _evolve_sequence(self, length: int) -> List[List[int]]:
+        coding = make_coding(self.config.coding, self.compiled.num_pis, length)
+        schedule = self.config.sequence_ga_schedule()
+        sample = self.sampler.sample(self.fsim.active, self.rng)
+        evaluator = self._fault_evaluator(coding, Phase.SEQUENCES, sample)
+        best = self._run_ga(coding, evaluator, schedule)
+        return coding.decode(best)
+
+    # ------------------------------------------------------------------
+    # Stage loops
+    # ------------------------------------------------------------------
+
+    def _vector_budget_left(self, need: int = 1) -> bool:
+        cap = self.config.max_vectors
+        return cap is None or len(self.test_sequence) + need <= cap
+
+    def _generate_vectors(self, tracker: PhaseTracker) -> None:
+        while (
+            self.fsim.active
+            and not tracker.vectors_exhausted
+            and self._vector_budget_left()
+        ):
+            phase = tracker.phase
+            vector = self._evolve_vector(phase)
+            commit = self.fsim.commit([vector])
+            self.test_sequence.append(vector)
+            self.trace.append(
+                StageEvent(
+                    kind="vector",
+                    phase=phase,
+                    frames=1,
+                    detected=commit.detected_count,
+                    committed=True,
+                )
+            )
+            tracker.record_vector(
+                detected=commit.detected_count,
+                ffs_set=self.fsim.good_state.num_set,
+                all_ffs_set=self.fsim.good_state.all_set,
+            )
+
+    def _generate_sequences(self, tracker: PhaseTracker) -> None:
+        tracker.enter_sequences()
+        depth = self.circuit.sequential_depth()
+        for length in self.config.sequence_lengths(depth):
+            failures = 0
+            while (
+                self.fsim.active
+                and failures < self.config.seq_fail_limit
+                and self._vector_budget_left(length)
+            ):
+                sequence = self._evolve_sequence(length)
+                snapshot = self.fsim.snapshot()
+                commit = self.fsim.commit(sequence)
+                if commit.detected_count > 0:
+                    self.test_sequence.extend(sequence)
+                    failures = 0
+                    committed = True
+                else:
+                    self.fsim.restore(snapshot)
+                    failures += 1
+                    committed = False
+                self.trace.append(
+                    StageEvent(
+                        kind="sequence",
+                        phase=Phase.SEQUENCES,
+                        frames=length,
+                        detected=commit.detected_count if committed else 0,
+                        committed=committed,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> TestGenResult:
+        """Execute the full Figure-1 flow and return the result record."""
+        start = time.perf_counter()
+        tracker = PhaseTracker(
+            progress_limit=self.config.progress_limit(
+                self.circuit.sequential_depth()
+            )
+        )
+        self._generate_vectors(tracker)
+        if self.fsim.active:
+            self._generate_sequences(tracker)
+        elapsed = time.perf_counter() - start
+        return TestGenResult(
+            circuit_name=self.circuit.name,
+            test_sequence=self.test_sequence,
+            detected=self.fsim.detected_count,
+            total_faults=self.fsim.num_faults,
+            elapsed_seconds=elapsed,
+            ga_evaluations=self.ga_evaluations,
+            ga_runs=self.ga_runs,
+            phase_transitions=list(tracker.transitions),
+            trace=self.trace,
+            detections=list(self.fsim.detections),
+        )
+
+
+def generate_tests(
+    circuit: Circuit, config: Optional[TestGenConfig] = None
+) -> TestGenResult:
+    """Functional convenience wrapper around :class:`GaTestGenerator`."""
+    return GaTestGenerator(circuit, config).run()

@@ -1,0 +1,86 @@
+"""Phase state machine for individual-test-vector generation (Figure 2).
+
+The tracker starts in phase 1 (initialize flip-flops).  Once every
+flip-flop holds a definite value it moves to phase 2 (maximize
+detections).  A vector that detects nothing sends it to phase 3, which
+adds the activity reward and counts successive noncontributing vectors;
+any detecting vector returns it to phase 2 and resets the count.  When
+the noncontributing count exceeds the progress limit, vector generation
+ends and the generator proceeds to test sequences (phase 4).
+
+Circuits whose flip-flops cannot all be initialized (under three-valued
+simulation) would wedge phase 1 forever, so the tracker also abandons
+phase 1 after ``progress_limit`` consecutive vectors with no improvement
+in the number of flip-flops set — a practical detail the paper does not
+spell out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from .fitness import Phase
+
+
+@dataclass
+class PhaseTracker:
+    """Mutable Figure-2 state; one per GATEST run."""
+
+    progress_limit: int
+    phase: Phase = Phase.INITIALIZATION
+    noncontributing: int = 0
+    _best_ffs_set: int = 0
+    _stagnant_init_vectors: int = 0
+    #: (vector index, phase entered) transitions, for the Figure 2 trace.
+    transitions: List[Tuple[int, Phase]] = field(default_factory=list)
+    _vectors_seen: int = 0
+
+    def __post_init__(self) -> None:
+        if self.progress_limit < 1:
+            raise ValueError("progress limit must be >= 1")
+        self.transitions.append((0, self.phase))
+
+    # ------------------------------------------------------------------
+
+    def _enter(self, phase: Phase) -> None:
+        if phase is not self.phase:
+            self.phase = phase
+            self.transitions.append((self._vectors_seen, phase))
+
+    def record_vector(self, detected: int, ffs_set: int, all_ffs_set: bool) -> None:
+        """Update state after one committed test vector.
+
+        ``detected`` is the number of faults the vector newly detected,
+        ``ffs_set``/``all_ffs_set`` describe the good-machine state after
+        the vector.
+        """
+        self._vectors_seen += 1
+        if self.phase is Phase.INITIALIZATION:
+            if all_ffs_set:
+                self._enter(Phase.DETECTION)
+                return
+            if ffs_set > self._best_ffs_set:
+                self._best_ffs_set = ffs_set
+                self._stagnant_init_vectors = 0
+            else:
+                self._stagnant_init_vectors += 1
+                if self._stagnant_init_vectors >= self.progress_limit:
+                    # Give up on full initialization (see module docstring).
+                    self._enter(Phase.DETECTION)
+            return
+        if detected > 0:
+            self.noncontributing = 0
+            self._enter(Phase.DETECTION)
+        else:
+            self.noncontributing += 1
+            self._enter(Phase.ACTIVITY)
+
+    @property
+    def vectors_exhausted(self) -> bool:
+        """True when the progress limit is hit: switch to sequences."""
+        return self.noncontributing >= self.progress_limit
+
+    def enter_sequences(self) -> None:
+        """Record the switch to test-sequence generation (phase 4)."""
+        self._enter(Phase.SEQUENCES)

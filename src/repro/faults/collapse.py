@@ -1,0 +1,127 @@
+"""Structural fault-equivalence collapsing.
+
+Two faults are *equivalent* when every test detecting one detects the
+other; only one representative per equivalence class needs simulating.
+The classic intra-gate rules are applied and closed transitively with a
+union-find (so fanout-free chains collapse end to end):
+
+========  ==============================  =====================
+gate      input fault                     equivalent output fault
+========  ==============================  =====================
+AND       s-a-0                           s-a-0
+NAND      s-a-0                           s-a-1
+OR        s-a-1                           s-a-1
+NOR       s-a-1                           s-a-0
+NOT       s-a-v                           s-a-(1-v)
+BUFF/DFF  s-a-v                           s-a-v
+========  ==============================  =====================
+
+When a gate input is fed by a net with a single load there is no branch
+fault on that pin (see :mod:`repro.faults.model`); the driver's stem
+fault plays the input-fault role, which is what makes chains collapse.
+One caveat applies: a driver that is itself a *primary output* has an
+extra observation point, so its stem fault is strictly easier to detect
+than the gate-input fault and must not be merged (caught by
+``tests/test_invariants.py::TestCollapseInvariant``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit
+from .model import STEM, Fault, generate_faults
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: Dict[Fault, Fault] = {}
+
+    def find(self, fault: Fault) -> Fault:
+        """Representative of the fault's class (path compressed)."""
+        parent = self.parent.setdefault(fault, fault)
+        if parent is fault or parent == fault:
+            return fault
+        root = self.find(parent)
+        self.parent[fault] = root
+        return root
+
+    def union(self, a: Fault, b: Fault) -> None:
+        """Merge two classes, keeping the smaller fault as representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Deterministic representative: the smaller fault wins.
+            if rb < ra:
+                ra, rb = rb, ra
+            self.parent[rb] = ra
+
+
+@dataclass
+class CollapsedFaults:
+    """Result of collapsing: representatives plus the full class map."""
+
+    representatives: List[Fault]
+    class_of: Dict[Fault, Fault]
+    members: Dict[Fault, List[Fault]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.representatives)
+
+    def expand(self, representative: Fault) -> List[Fault]:
+        """All faults equivalent to ``representative`` (including itself)."""
+        return self.members.get(representative, [representative])
+
+
+#: (input stuck-at value, output stuck-at value) per collapsible gate type.
+_RULES = {
+    GateType.AND: [(0, 0)],
+    GateType.NAND: [(0, 1)],
+    GateType.OR: [(1, 1)],
+    GateType.NOR: [(1, 0)],
+    GateType.NOT: [(0, 1), (1, 0)],
+    GateType.BUFF: [(0, 0), (1, 1)],
+    GateType.DFF: [(0, 0), (1, 1)],
+}
+
+
+def collapse_faults(circuit: Circuit, faults: Optional[List[Fault]] = None) -> CollapsedFaults:
+    """Collapse a fault list (default: the full list) into classes."""
+    if faults is None:
+        faults = generate_faults(circuit)
+    fault_set = set(faults)
+    uf = _UnionFind()
+    for fault in faults:
+        uf.find(fault)
+
+    po_set = set(circuit.outputs)
+    for node_id, gate_type in enumerate(circuit.node_types):
+        rules = _RULES.get(gate_type)
+        if not rules:
+            continue
+        for pin, src in enumerate(circuit.fanins[node_id]):
+            single_load = (
+                len(circuit.fanouts[src]) == 1 and src not in po_set
+            )
+            for in_sa, out_sa in rules:
+                input_fault = (
+                    Fault(src, STEM, in_sa) if single_load else Fault(node_id, pin, in_sa)
+                )
+                output_fault = Fault(node_id, STEM, out_sa)
+                if input_fault in fault_set and output_fault in fault_set:
+                    uf.union(input_fault, output_fault)
+
+    class_of: Dict[Fault, Fault] = {}
+    members: Dict[Fault, List[Fault]] = {}
+    for fault in faults:
+        root = uf.find(fault)
+        class_of[fault] = root
+        members.setdefault(root, []).append(fault)
+    representatives = sorted(members)
+    return CollapsedFaults(representatives=representatives, class_of=class_of, members=members)
+
+
+def collapsed_fault_list(circuit: Circuit) -> List[Fault]:
+    """Convenience: the collapsed representatives for a circuit."""
+    return collapse_faults(circuit).representatives

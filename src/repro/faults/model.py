@@ -1,0 +1,76 @@
+"""Single stuck-at fault model and fault-list generation.
+
+A fault is a stuck-at-0 or stuck-at-1 on either a node's *output* (the
+stem, ``pin == STEM``) or on one specific *fanin pin* of a gate (a fanout
+branch).  Following standard practice, branch faults are only generated
+where the driving net actually fans out to more than one load — with a
+single load the branch fault is indistinguishable from the stem fault
+and equivalence collapsing would immediately remove it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit
+
+STEM = -1  #: pin index denoting a fault on the node's output
+
+
+class FaultStatus(enum.Enum):
+    """Lifecycle of a fault during simulation."""
+
+    UNDETECTED = "undetected"
+    DETECTED = "detected"
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """One single stuck-at fault.
+
+    ``node`` is the faulty node's id.  For ``pin == STEM`` the node's
+    output is stuck; otherwise fanin pin ``pin`` of that node is stuck
+    (the branch from its driver).  ``stuck_at`` is 0 or 1.
+    """
+
+    node: int
+    pin: int
+    stuck_at: int
+
+    def describe(self, circuit: Circuit) -> str:
+        """Human-readable name like ``G11 s-a-0`` or ``G9.in1 s-a-1``."""
+        name = circuit.node_names[self.node]
+        where = name if self.pin == STEM else f"{name}.in{self.pin}"
+        return f"{where} s-a-{self.stuck_at}"
+
+
+def generate_faults(circuit: Circuit, include_branches: bool = True) -> List[Fault]:
+    """Generate the full (uncollapsed) stuck-at fault list.
+
+    Stem faults on every node; branch faults on every gate/DFF fanin pin
+    whose driving net has more than one observation point — multiple
+    fanout loads, or a single load plus a primary-output tap (a PO is a
+    branch of the net too).  The result is deterministic: ordered by
+    node id, then stem before branches, then stuck-at value.
+    """
+    po_set = set(circuit.outputs)
+    faults: List[Fault] = []
+    for node_id in range(circuit.num_nodes):
+        for sa in (0, 1):
+            faults.append(Fault(node_id, STEM, sa))
+        gate_type = circuit.node_types[node_id]
+        if gate_type is GateType.INPUT or not include_branches:
+            continue
+        for pin, src in enumerate(circuit.fanins[node_id]):
+            if len(circuit.fanouts[src]) > 1 or src in po_set:
+                for sa in (0, 1):
+                    faults.append(Fault(node_id, pin, sa))
+    return faults
+
+
+def fault_universe_size(circuit: Circuit) -> int:
+    """Size of the uncollapsed fault list (for reporting)."""
+    return len(generate_faults(circuit))

@@ -1,0 +1,86 @@
+"""Fault-sampling strategies for fitness evaluation (paper §III-B).
+
+Fitness computation is the dominant cost of GA-based test generation, so
+the paper approximates fitness with a small random sample of the
+remaining faults: either a fixed fraction (1%–10%) or a fixed size
+(100–300 faults).  Table 6 studies the fixed-size variant.  When the
+undetected fault list shrinks below the sample size, the whole list is
+used (as the paper specifies).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+
+class FaultSampler(Protocol):
+    """Strategy interface: pick the fault indices to simulate."""
+
+    def sample(self, active: Sequence[int], rng: random.Random) -> List[int]:
+        """Return the subset of ``active`` fault indices to score against."""
+        ...  # Protocol stub
+
+
+@dataclass(frozen=True)
+class FullList:
+    """No sampling: always evaluate against every remaining fault."""
+
+    def sample(self, active: Sequence[int], rng: random.Random) -> List[int]:
+        return list(active)
+
+
+@dataclass(frozen=True)
+class FixedSize:
+    """Random sample of at most ``size`` remaining faults (Table 6)."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("sample size must be positive")
+
+    def sample(self, active: Sequence[int], rng: random.Random) -> List[int]:
+        """Uniform sample without replacement (whole list if smaller)."""
+        if len(active) <= self.size:
+            return list(active)
+        return rng.sample(list(active), self.size)
+
+
+@dataclass(frozen=True)
+class Fraction:
+    """Random sample of a fraction of the remaining faults (1%–10%)."""
+
+    fraction: float
+    minimum: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+
+    def sample(self, active: Sequence[int], rng: random.Random) -> List[int]:
+        """Uniform sample of ceil(fraction * len) faults, floored at minimum."""
+        want = max(self.minimum, round(len(active) * self.fraction))
+        if len(active) <= want:
+            return list(active)
+        return rng.sample(list(active), want)
+
+
+def make_sampler(spec: Optional[object]) -> FaultSampler:
+    """Coerce a user-friendly spec into a sampler.
+
+    ``None`` -> full list; an ``int`` -> :class:`FixedSize`; a ``float``
+    in (0, 1) -> :class:`Fraction`; a sampler instance passes through.
+    """
+    if spec is None:
+        return FullList()
+    if isinstance(spec, bool):
+        raise TypeError("bool is not a valid sampler spec")
+    if isinstance(spec, int):
+        return FixedSize(spec)
+    if isinstance(spec, float):
+        return Fraction(spec)
+    if hasattr(spec, "sample"):
+        return spec  # type: ignore[return-value]
+    raise TypeError(f"cannot interpret fault sampler spec {spec!r}")

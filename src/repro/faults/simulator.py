@@ -1,0 +1,847 @@
+"""PROOFS-style parallel-fault sequential fault simulator.
+
+The simulator maintains the *committed* circuit state: the fault-free
+(good) flip-flop state plus, for every undetected fault, the set of
+flip-flops where that fault's machine has diverged from the good
+machine.  Faults are simulated in groups of ``word_width``: each bit
+slot of the arbitrary-precision bit-plane words carries one faulty
+machine, so one pass of bitwise operations over the compiled program
+evaluates a whole group per time frame (see DESIGN.md §6).
+
+Two entry points mirror how GATEST uses PROOFS (paper §III/§IV):
+
+* :meth:`FaultSimulator.evaluate` — score a *candidate* test against the
+  current state **without committing**: returns the observables every
+  phase's fitness function needs (faults detected, fault effects at
+  flip-flops, good/faulty event counts, flip-flops initialized).  The
+  paper's §IV "store and restore the good and faulty circuit states"
+  modification is realized by simply never writing candidate results
+  back.
+* :meth:`FaultSimulator.commit` — apply the selected test for real:
+  advance the good state and every faulty state, mark newly detected
+  faults and drop them from the active list.
+
+Explicit :meth:`snapshot` / :meth:`restore` are also provided for
+callers that need transactional experimentation beyond that model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..circuit.gates import X
+from ..circuit.netlist import Circuit
+from ..sim.compile import CompiledCircuit, compile_circuit, eval_program, eval_program_injected
+from ..sim.logic3 import GoodState, Vector
+from .collapse import collapsed_fault_list
+from .model import STEM, Fault, FaultStatus
+
+DEFAULT_WORD_WIDTH = 64
+
+
+@dataclass
+class CandidateEval:
+    """Observables from scoring one candidate test (never committed)."""
+
+    frames: int
+    detected: int            # distinct sampled faults detected at a PO
+    prop_final: int          # faults with a definite effect at a FF, final frame
+    prop_sum: int            # the same, summed over every frame
+    faulty_events: int       # (fault, node, frame) triples where faulty != good
+    good_events: int         # good-machine node changes, summed over frames
+    ffs_set: int             # good-machine FFs definite after the last frame
+    ffs_changed: int         # good-machine definite-to-definite FF toggles, last frame
+    num_faults_simulated: int
+    num_ffs: int
+
+
+@dataclass
+class CommitResult:
+    """Outcome of committing a test to the simulator state."""
+
+    frames: int
+    detections: List[Tuple[Fault, int]]  # (fault, frame index within this test)
+    detected_count: int
+    remaining: int
+
+
+@dataclass
+class SimSnapshot:
+    """Opaque deep snapshot of all simulator state (§IV store/restore)."""
+
+    good_state: GoodState
+    divergence: Dict[int, Dict[int, int]]
+    status: List[FaultStatus]
+    active: List[int]
+    vectors_applied: int
+
+
+@dataclass
+class _GoodTrace:
+    """Good-machine results for one candidate, reused by every group."""
+
+    node_planes: List[Tuple[List[int], List[int]]]  # per frame (v1, v0), 1-bit
+    ff_states: List[List[int]]                      # per frame next-state scalars
+    good_events: int
+    ffs_set: int
+    ffs_changed: int
+
+
+class PatternParallelGood:
+    """Good-machine companion for :meth:`FaultSimulator.evaluate_batch`.
+
+    Simulates all candidates' fault-free machines pattern-parallel (one
+    slot per candidate) and exposes, per frame, the node bit planes the
+    faulty mega-pass compares against.  Also accumulates the good-machine
+    observables the phase-1/3 fitness functions need.
+    """
+
+    def __init__(self, compiled, state: GoodState, candidates, count_events: bool = False) -> None:
+        self.compiled = compiled
+        self.candidates = candidates
+        self.count_events = count_events
+        n_cand = len(candidates)
+        self.n_cand = n_cand
+        self.mask = (1 << n_cand) - 1
+        n = compiled.num_nodes
+        self.v1 = [0] * n
+        self.v0 = [0] * n
+        self.ff1 = [0] * compiled.num_ffs
+        self.ff0 = [0] * compiled.num_ffs
+        for k, value in enumerate(state.ff_values):
+            if value == 1:
+                self.ff1[k] = self.mask
+            elif value == 0:
+                self.ff0[k] = self.mask
+        self._scalars = [list(state.ff_values) for _ in range(n_cand)]
+        self.events = [0] * n_cand
+        self.ffs_set = [0] * n_cand
+        self.ffs_changed = [0] * n_cand
+
+    def step(self, frame: int):
+        """Clock one frame; returns (v1, v0) node planes (borrowed refs —
+        valid only until the next step call)."""
+        compiled = self.compiled
+        n_cand = self.n_cand
+        v1, v0 = self.v1, self.v0
+        old_v1 = list(v1) if self.count_events else None
+        old_v0 = list(v0) if self.count_events else None
+        for j, pi in enumerate(compiled.pi_ids):
+            w1 = 0
+            w0 = 0
+            bit = 1
+            for c in range(n_cand):
+                value = self.candidates[c][frame][j]
+                if value == 1:
+                    w1 |= bit
+                elif value == 0:
+                    w0 |= bit
+                bit <<= 1
+            v1[pi], v0[pi] = w1, w0
+        for k, ff in enumerate(compiled.ff_ids):
+            v1[ff], v0[ff] = self.ff1[k], self.ff0[k]
+
+        eval_program(compiled.program, v1, v0, self.mask)
+
+        self.ffs_changed = [0] * n_cand
+        next_scalars = [[] for _ in range(n_cand)]
+        for k, d_node in enumerate(compiled.ff_d_ids):
+            n1, n0 = v1[d_node], v0[d_node]
+            self.ff1[k], self.ff0[k] = n1, n0
+            for c in range(n_cand):
+                bit = 1 << c
+                if n1 & bit:
+                    value = 1
+                elif n0 & bit:
+                    value = 0
+                else:
+                    value = X
+                prev = self._scalars[c][k]
+                if value != X and prev != X and value != prev:
+                    self.ffs_changed[c] += 1
+                next_scalars[c].append(value)
+        self._scalars = next_scalars
+        self.ffs_set = [
+            sum(1 for value in s if value != X) for s in next_scalars
+        ]
+        if self.count_events:
+            for i in range(compiled.num_nodes):
+                diff = (v1[i] ^ old_v1[i]) | (v0[i] ^ old_v0[i])
+                if diff:
+                    for c in range(n_cand):
+                        if (diff >> c) & 1:
+                            self.events[c] += 1
+        return v1, v0
+
+    def next_state_scalars(self):
+        """Per-candidate next-state scalars captured by the last step."""
+        return self._scalars
+
+
+class FaultSimulator:
+    """Sequential fault simulator over a collapsed stuck-at fault list."""
+
+    def __init__(
+        self,
+        circuit: Union[Circuit, CompiledCircuit],
+        faults: Optional[List[Fault]] = None,
+        word_width: int = DEFAULT_WORD_WIDTH,
+    ) -> None:
+        if isinstance(circuit, CompiledCircuit):
+            self.compiled = circuit
+        else:
+            self.compiled = compile_circuit(circuit)
+        self.circuit = self.compiled.circuit
+        if faults is None:
+            faults = collapsed_fault_list(self.circuit)
+        if word_width < 1:
+            raise ValueError("word_width must be positive")
+        self.faults: List[Fault] = list(faults)
+        self.word_width = word_width
+        self.status: List[FaultStatus] = [FaultStatus.UNDETECTED] * len(self.faults)
+        self.active: List[int] = list(range(len(self.faults)))
+        self.good_state: GoodState = GoodState.unknown(self.compiled.num_ffs)
+        #: fault index -> {ff index -> scalar faulty value} where the faulty
+        #: machine's flip-flop state differs from the good machine's.
+        self.divergence: Dict[int, Dict[int, int]] = {}
+        self.vectors_applied = 0
+        self.detections: List[Tuple[Fault, int]] = []  # (fault, absolute frame)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def num_faults(self) -> int:
+        """Size of the simulated (collapsed) fault list."""
+        return len(self.faults)
+
+    @property
+    def detected_count(self) -> int:
+        """Faults detected so far by committed tests."""
+        return len(self.faults) - len(self.active)
+
+    @property
+    def fault_coverage(self) -> float:
+        """Detected fraction of the collapsed fault list."""
+        if not self.faults:
+            return 0.0
+        return self.detected_count / len(self.faults)
+
+    def undetected_faults(self) -> List[Fault]:
+        """The remaining (active) faults, in list order."""
+        return [self.faults[i] for i in self.active]
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (paper §IV)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> SimSnapshot:
+        """Deep-copy all mutable state (paper §IV store)."""
+        return SimSnapshot(
+            good_state=self.good_state.copy(),
+            divergence={f: dict(d) for f, d in self.divergence.items()},
+            status=list(self.status),
+            active=list(self.active),
+            vectors_applied=self.vectors_applied,
+        )
+
+    def restore(self, snap: SimSnapshot) -> None:
+        """Roll every piece of state back to a snapshot (paper §IV)."""
+        self.good_state = snap.good_state.copy()
+        self.divergence = {f: dict(d) for f, d in snap.divergence.items()}
+        self.status = list(snap.status)
+        self.active = list(snap.active)
+        self.vectors_applied = snap.vectors_applied
+
+    def reset(self) -> None:
+        """Return to power-up: all faults undetected, all state unknown."""
+        self.status = [FaultStatus.UNDETECTED] * len(self.faults)
+        self.active = list(range(len(self.faults)))
+        self.good_state = GoodState.unknown(self.compiled.num_ffs)
+        self.divergence = {}
+        self.vectors_applied = 0
+        self.detections = []
+
+    # ------------------------------------------------------------------
+    # Good-machine pass
+    # ------------------------------------------------------------------
+
+    def _run_good(self, vectors: Sequence[Vector], count_events: bool) -> _GoodTrace:
+        compiled = self.compiled
+        n = compiled.num_nodes
+        v1 = [0] * n
+        v0 = [0] * n
+        ff_scalars = list(self.good_state.ff_values)
+        node_planes: List[Tuple[List[int], List[int]]] = []
+        ff_states: List[List[int]] = []
+        good_events = 0
+        ffs_changed_last = 0
+        for vector in vectors:
+            old_v1 = list(v1) if count_events else None
+            old_v0 = list(v0) if count_events else None
+            for j, pi in enumerate(compiled.pi_ids):
+                value = vector[j]
+                v1[pi] = 1 if value == 1 else 0
+                v0[pi] = 1 if value == 0 else 0
+            for k, ff in enumerate(compiled.ff_ids):
+                value = ff_scalars[k]
+                v1[ff] = 1 if value == 1 else 0
+                v0[ff] = 1 if value == 0 else 0
+            eval_program(compiled.program, v1, v0, 1)
+            next_scalars = []
+            ffs_changed_last = 0
+            for k, d_node in enumerate(compiled.ff_d_ids):
+                if v1[d_node]:
+                    value = 1
+                elif v0[d_node]:
+                    value = 0
+                else:
+                    value = X
+                prev = ff_scalars[k]
+                if value != X and prev != X and value != prev:
+                    ffs_changed_last += 1
+                next_scalars.append(value)
+            if count_events:
+                good_events += sum(
+                    1 for i in range(n) if v1[i] != old_v1[i] or v0[i] != old_v0[i]
+                )
+            node_planes.append((list(v1), list(v0)))
+            ff_states.append(next_scalars)
+            ff_scalars = next_scalars
+        ffs_set = sum(1 for value in ff_scalars if value != X)
+        return _GoodTrace(
+            node_planes=node_planes,
+            ff_states=ff_states,
+            good_events=good_events,
+            ffs_set=ffs_set,
+            ffs_changed=ffs_changed_last,
+        )
+
+    # ------------------------------------------------------------------
+    # Fault grouping and injection tables
+    # ------------------------------------------------------------------
+
+    def _make_groups(self, fault_ids: Sequence[int]) -> List[List[int]]:
+        """Chunk faults into word groups, clustering state-divergent faults.
+
+        Faults whose machines currently agree with the good machine can
+        often be skipped frame-to-frame; packing divergent faults
+        together maximizes how many groups stay quiescent.
+        """
+        ordered = sorted(
+            fault_ids,
+            key=lambda f: (0 if self.divergence.get(f) else 1, self.faults[f].node),
+        )
+        width = self.word_width
+        return [ordered[i:i + width] for i in range(0, len(ordered), width)]
+
+    def _injection_tables(self, group: Sequence[int]):
+        """Build injection structures for one fault group.
+
+        Returns ``(out_force, pin_force, pi_forces, ff_out_forces,
+        ff_pin_forces)`` where the first two feed
+        :func:`eval_program_injected` (combinational nodes), and the rest
+        handle fault sites the program never writes: primary-input
+        outputs, flip-flop outputs (forced at present-state load) and
+        flip-flop D pins (forced at next-state capture).
+        """
+        compiled = self.compiled
+        is_ff = {ff: k for k, ff in enumerate(compiled.ff_ids)}
+        is_pi = set(compiled.pi_ids)
+        out_force: Dict[int, Tuple[int, int]] = {}
+        pin_force: Dict[int, List[Tuple[int, int, int]]] = {}
+        pi_forces: List[Tuple[int, int, int]] = []
+        ff_out_forces: Dict[int, Tuple[int, int]] = {}
+        ff_pin_forces: Dict[int, Tuple[int, int]] = {}
+
+        def add_pair(table: Dict, key, bit: int, stuck_at: int) -> None:
+            f1, f0 = table.get(key, (0, 0))
+            if stuck_at == 1:
+                f1 |= bit
+            else:
+                f0 |= bit
+            table[key] = (f1, f0)
+
+        for slot, fault_id in enumerate(group):
+            fault = self.faults[fault_id]
+            bit = 1 << slot
+            if fault.pin == STEM:
+                if fault.node in is_ff:
+                    add_pair(ff_out_forces, is_ff[fault.node], bit, fault.stuck_at)
+                else:
+                    # PI stems land in out_force too; they are split out
+                    # into pi_forces below (the program never writes PIs).
+                    add_pair(out_force, fault.node, bit, fault.stuck_at)
+            else:
+                if fault.node in is_ff:
+                    add_pair(ff_pin_forces, is_ff[fault.node], bit, fault.stuck_at)
+                else:
+                    entries = pin_force.setdefault(fault.node, [])
+                    for idx, (pin, f1, f0) in enumerate(entries):
+                        if pin == fault.pin:
+                            if fault.stuck_at == 1:
+                                f1 |= bit
+                            else:
+                                f0 |= bit
+                            entries[idx] = (pin, f1, f0)
+                            break
+                    else:
+                        entries.append(
+                            (fault.pin, bit if fault.stuck_at == 1 else 0,
+                             bit if fault.stuck_at == 0 else 0)
+                        )
+        pi_forces = [
+            (node, f1, f0) for node, (f1, f0) in out_force.items() if node in is_pi
+        ]
+        return out_force, pin_force, pi_forces, ff_out_forces, ff_pin_forces
+
+    # ------------------------------------------------------------------
+    # Faulty-machine pass for one group
+    # ------------------------------------------------------------------
+
+    def _run_group(
+        self,
+        group: Sequence[int],
+        trace: _GoodTrace,
+        count_faulty_events: bool,
+    ):
+        """Simulate one fault group along the good trace.
+
+        Returns ``(det_word, prop_final, prop_per_frame, faulty_events,
+        final_ff1, final_ff0)`` where ``det_word`` has a bit per slot
+        whose fault was detected at a primary output in some frame.
+        """
+        compiled = self.compiled
+        n = compiled.num_nodes
+        n_slots = len(group)
+        mask = (1 << n_slots) - 1
+        (out_force, pin_force, pi_forces,
+         ff_out_forces, ff_pin_forces) = self._injection_tables(group)
+
+        # Initialize faulty FF planes: good state broadcast + divergences.
+        ff1 = [0] * compiled.num_ffs
+        ff0 = [0] * compiled.num_ffs
+        for k in range(compiled.num_ffs):
+            value = self.good_state.ff_values[k]
+            ff1[k] = mask if value == 1 else 0
+            ff0[k] = mask if value == 0 else 0
+        for slot, fault_id in enumerate(group):
+            div = self.divergence.get(fault_id)
+            if not div:
+                continue
+            bit = 1 << slot
+            nbit = ~bit
+            for k, value in div.items():
+                ff1[k] &= nbit
+                ff0[k] &= nbit
+                if value == 1:
+                    ff1[k] |= bit
+                elif value == 0:
+                    ff0[k] |= bit
+
+        v1 = [0] * n
+        v0 = [0] * n
+        det_word = 0
+        det_frame: Dict[int, int] = {}
+        prop_per_frame: List[int] = []
+        faulty_events = 0
+        po_ids = compiled.po_ids
+        ff_d_ids = compiled.ff_d_ids
+
+        for frame, (g1, g0) in enumerate(trace.node_planes):
+            # Load primary inputs (good values broadcast, then PI faults).
+            for pi in compiled.pi_ids:
+                v1[pi] = mask * g1[pi]
+                v0[pi] = mask * g0[pi]
+            for node, f1, f0 in pi_forces:
+                if f1:
+                    v1[node] |= f1
+                    v0[node] &= ~f1
+                if f0:
+                    v0[node] |= f0
+                    v1[node] &= ~f0
+            # Load faulty present state, applying stuck-Q faults.
+            for k, ff in enumerate(compiled.ff_ids):
+                a1, a0 = ff1[k], ff0[k]
+                if k in ff_out_forces:
+                    f1, f0 = ff_out_forces[k]
+                    if f1:
+                        a1 |= f1
+                        a0 &= ~f1
+                    if f0:
+                        a0 |= f0
+                        a1 &= ~f0
+                v1[ff], v0[ff] = a1, a0
+
+            eval_program_injected(compiled.program, v1, v0, mask, out_force, pin_force)
+
+            if count_faulty_events:
+                events = 0
+                for i in range(n):
+                    diff = (v1[i] ^ (mask * g1[i])) | (v0[i] ^ (mask * g0[i]))
+                    if diff:
+                        events += diff.bit_count()
+                faulty_events += events
+
+            # Detections: definite good vs definite-and-different faulty.
+            frame_det = 0
+            for po in po_ids:
+                if g1[po]:
+                    frame_det |= v0[po]
+                elif g0[po]:
+                    frame_det |= v1[po]
+            new = frame_det & ~det_word
+            while new:
+                low = new & -new
+                det_frame[low.bit_length() - 1] = frame
+                new ^= low
+            det_word |= frame_det
+
+            # Capture faulty next state (D-pin faults applied here).
+            good_next = trace.ff_states[frame]
+            prop_word = 0
+            for k, d_node in enumerate(ff_d_ids):
+                a1, a0 = v1[d_node], v0[d_node]
+                if k in ff_pin_forces:
+                    f1, f0 = ff_pin_forces[k]
+                    if f1:
+                        a1 |= f1
+                        a0 &= ~f1
+                    if f0:
+                        a0 |= f0
+                        a1 &= ~f0
+                ff1[k], ff0[k] = a1, a0
+                value = good_next[k]
+                if value == 1:
+                    prop_word |= a0
+                elif value == 0:
+                    prop_word |= a1
+            prop_per_frame.append(prop_word.bit_count())
+
+        prop_final = prop_per_frame[-1] if prop_per_frame else 0
+        return det_word, det_frame, prop_final, prop_per_frame, faulty_events, ff1, ff0
+
+    # ------------------------------------------------------------------
+    # Public simulation entry points
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        vectors: Sequence[Vector],
+        sample: Optional[Sequence[int]] = None,
+        count_faulty_events: bool = False,
+    ) -> CandidateEval:
+        """Score a candidate test from the current state, without commit.
+
+        ``sample`` is the list of fault indices to simulate (defaults to
+        every active fault); pass a subset for the paper's fault-sampling
+        speedup.  ``count_faulty_events`` additionally computes the
+        phase-3 activity observable (it costs an extra pass over the
+        node arrays per frame).
+        """
+        if sample is None:
+            sample = self.active
+        trace = self._run_good(vectors, count_events=count_faulty_events)
+        detected = 0
+        prop_final = 0
+        prop_sum = 0
+        faulty_events = 0
+        for group in self._make_groups(sample):
+            det_word, _, g_prop_final, prop_frames, g_events, _, _ = self._run_group(
+                group, trace, count_faulty_events
+            )
+            detected += det_word.bit_count()
+            prop_final += g_prop_final
+            prop_sum += sum(prop_frames)
+            faulty_events += g_events
+        return CandidateEval(
+            frames=len(vectors),
+            detected=detected,
+            prop_final=prop_final,
+            prop_sum=prop_sum,
+            faulty_events=faulty_events,
+            good_events=trace.good_events,
+            ffs_set=trace.ffs_set,
+            ffs_changed=trace.ffs_changed,
+            num_faults_simulated=len(sample),
+            num_ffs=self.compiled.num_ffs,
+        )
+
+    def evaluate_batch(
+        self,
+        candidates: Sequence[Sequence[Vector]],
+        sample: Optional[Sequence[int]] = None,
+        count_faulty_events: bool = False,
+    ) -> List[CandidateEval]:
+        """Score many candidate tests at once (one GA population).
+
+        Semantically identical to ``[evaluate(c, sample) for c in
+        candidates]`` but packs every (candidate, fault) pair into one
+        slot of a single ultra-wide bit-plane word: candidate *c* owns
+        the slot block ``[c*S, (c+1)*S)`` where *S* is the sample size.
+        One pass over the compiled program then evaluates the whole
+        population against the whole sample — with arbitrary-precision
+        integers the interpreter overhead per bitwise op dominates, so
+        widening the word is nearly free and this replaces
+        ``len(candidates) * ceil(S / word_width)`` narrow passes.
+
+        All candidates must have the same number of frames.
+        """
+        if sample is None:
+            sample = self.active
+        sample = list(sample)
+        n_cand = len(candidates)
+        if n_cand == 0:
+            return []
+        frames = len(candidates[0])
+        if any(len(c) != frames for c in candidates):
+            raise ValueError("all candidates must have the same frame count")
+        if not sample or frames == 0:
+            return [
+                self.evaluate(c, sample=sample, count_faulty_events=count_faulty_events)
+                for c in candidates
+            ]
+
+        compiled = self.compiled
+        n = compiled.num_nodes
+        S = len(sample)
+        width = n_cand * S
+        mask = (1 << width) - 1
+        block_mask = (1 << S) - 1
+        block_of = [block_mask << (c * S) for c in range(n_cand)]
+
+        # Good machines: pattern-parallel, one slot per candidate.
+        good = PatternParallelGood(
+            compiled, self.good_state, candidates, count_events=count_faulty_events
+        )
+
+        # Injection tables over the S sample slots, replicated per block.
+        rep = 0
+        for c in range(n_cand):
+            rep |= 1 << (c * S)
+
+        def replicate(word: int) -> int:
+            """Spread an S-bit fault mask into every candidate block."""
+            return word * rep
+
+        (out_force_s, pin_force_s, pi_forces_s,
+         ff_out_forces_s, ff_pin_forces_s) = self._injection_tables(sample)
+        out_force = {k: (replicate(f1), replicate(f0))
+                     for k, (f1, f0) in out_force_s.items()}
+        pin_force = {
+            gate: [(pin, replicate(f1), replicate(f0)) for pin, f1, f0 in entries]
+            for gate, entries in pin_force_s.items()
+        }
+        pi_forces = [(node, replicate(f1), replicate(f0))
+                     for node, f1, f0 in pi_forces_s]
+        ff_out_forces = {k: (replicate(f1), replicate(f0))
+                         for k, (f1, f0) in ff_out_forces_s.items()}
+        ff_pin_forces = {k: (replicate(f1), replicate(f0))
+                         for k, (f1, f0) in ff_pin_forces_s.items()}
+
+        # Initialize faulty FF planes: per-candidate good broadcast (all
+        # candidates start from the same committed state) + divergences.
+        ff1 = [0] * compiled.num_ffs
+        ff0 = [0] * compiled.num_ffs
+        for k in range(compiled.num_ffs):
+            value = self.good_state.ff_values[k]
+            ff1[k] = mask if value == 1 else 0
+            ff0[k] = mask if value == 0 else 0
+        for slot_in_block, fault_id in enumerate(sample):
+            div = self.divergence.get(fault_id)
+            if not div:
+                continue
+            slot_word = rep << slot_in_block  # this fault in every block
+            nword = ~slot_word
+            for k, value in div.items():
+                ff1[k] &= nword
+                ff0[k] &= nword
+                if value == 1:
+                    ff1[k] |= slot_word
+                elif value == 0:
+                    ff0[k] |= slot_word
+
+        v1 = [0] * n
+        v0 = [0] * n
+        det_word = 0
+        prop_sum = [0] * n_cand
+        prop_final = [0] * n_cand
+        faulty_events = [0] * n_cand
+        po_ids = compiled.po_ids
+        ff_d_ids = compiled.ff_d_ids
+
+        for frame in range(frames):
+            g1, g0 = good.step(frame)
+            # Expand each candidate's good PI bits into its block.
+            for j, pi in enumerate(compiled.pi_ids):
+                w1 = 0
+                w0 = 0
+                for c in range(n_cand):
+                    value = candidates[c][frame][j]
+                    if value == 1:
+                        w1 |= block_of[c]
+                    elif value == 0:
+                        w0 |= block_of[c]
+                v1[pi], v0[pi] = w1, w0
+            for node, f1, f0 in pi_forces:
+                if f1:
+                    v1[node] |= f1
+                    v0[node] &= ~f1
+                if f0:
+                    v0[node] |= f0
+                    v1[node] &= ~f0
+            for k, ff in enumerate(compiled.ff_ids):
+                a1, a0 = ff1[k], ff0[k]
+                if k in ff_out_forces:
+                    f1, f0 = ff_out_forces[k]
+                    if f1:
+                        a1 |= f1
+                        a0 &= ~f1
+                    if f0:
+                        a0 |= f0
+                        a1 &= ~f0
+                v1[ff], v0[ff] = a1, a0
+
+            eval_program_injected(compiled.program, v1, v0, mask, out_force, pin_force)
+
+            if count_faulty_events:
+                # Expand good planes candidate-block-wise per node; this
+                # is the expensive observable (phase 3 only).
+                for i in range(n):
+                    gb1 = 0
+                    gb0 = 0
+                    w1 = g1[i]
+                    w0 = g0[i]
+                    for c in range(n_cand):
+                        bit = 1 << c
+                        if w1 & bit:
+                            gb1 |= block_of[c]
+                        elif w0 & bit:
+                            gb0 |= block_of[c]
+                    diff = (v1[i] ^ gb1) | (v0[i] ^ gb0)
+                    if diff:
+                        for c in range(n_cand):
+                            d = diff & block_of[c]
+                            if d:
+                                faulty_events[c] += d.bit_count()
+
+            frame_det = 0
+            for po in po_ids:
+                w1 = g1[po]
+                w0 = g0[po]
+                if w1 or w0:
+                    f1p, f0p = v1[po], v0[po]
+                    for c in range(n_cand):
+                        bit = 1 << c
+                        if w1 & bit:
+                            frame_det |= f0p & block_of[c]
+                        elif w0 & bit:
+                            frame_det |= f1p & block_of[c]
+            det_word |= frame_det
+
+            good_next = good.next_state_scalars()
+            prop_word = 0
+            for k, d_node in enumerate(ff_d_ids):
+                a1, a0 = v1[d_node], v0[d_node]
+                if k in ff_pin_forces:
+                    f1, f0 = ff_pin_forces[k]
+                    if f1:
+                        a1 |= f1
+                        a0 &= ~f1
+                    if f0:
+                        a0 |= f0
+                        a1 &= ~f0
+                ff1[k], ff0[k] = a1, a0
+                gb1 = 0
+                gb0 = 0
+                for c in range(n_cand):
+                    value = good_next[c][k]
+                    if value == 1:
+                        gb1 |= block_of[c]
+                    elif value == 0:
+                        gb0 |= block_of[c]
+                prop_word |= (a0 & gb1) | (a1 & gb0)
+            for c in range(n_cand):
+                count = (prop_word & block_of[c]).bit_count()
+                prop_sum[c] += count
+                if frame == frames - 1:
+                    prop_final[c] = count
+
+        results = []
+        for c in range(n_cand):
+            results.append(
+                CandidateEval(
+                    frames=frames,
+                    detected=(det_word & block_of[c]).bit_count(),
+                    prop_final=prop_final[c],
+                    prop_sum=prop_sum[c],
+                    faulty_events=faulty_events[c],
+                    good_events=good.events[c],
+                    ffs_set=good.ffs_set[c],
+                    ffs_changed=good.ffs_changed[c],
+                    num_faults_simulated=S,
+                    num_ffs=compiled.num_ffs,
+                )
+            )
+        return results
+
+    def commit(self, vectors: Sequence[Vector]) -> CommitResult:
+        """Apply a test for real: advance all state, drop detected faults."""
+        trace = self._run_good(vectors, count_events=False)
+        detections: List[Tuple[Fault, int]] = []
+        new_divergence: Dict[int, Dict[int, int]] = {}
+        detected_ids: List[int] = []
+        for group in self._make_groups(self.active):
+            det_word, det_frame, _, _, _, ff1, ff0 = self._run_group(
+                group, trace, False
+            )
+            final_good = (
+                trace.ff_states[-1] if trace.ff_states else self.good_state.ff_values
+            )
+            for slot, fault_id in enumerate(group):
+                bit = 1 << slot
+                if det_word & bit:
+                    detected_ids.append(fault_id)
+                    detections.append(
+                        (self.faults[fault_id],
+                         self.vectors_applied + det_frame.get(slot, 0))
+                    )
+                    continue
+                div: Dict[int, int] = {}
+                for k in range(self.compiled.num_ffs):
+                    if ff1[k] & bit:
+                        value = 1
+                    elif ff0[k] & bit:
+                        value = 0
+                    else:
+                        value = X
+                    if value != final_good[k]:
+                        div[k] = value
+                if div:
+                    new_divergence[fault_id] = div
+        for fault_id in detected_ids:
+            self.status[fault_id] = FaultStatus.DETECTED
+        detected_set = set(detected_ids)
+        self.active = [f for f in self.active if f not in detected_set]
+        self.divergence = new_divergence
+        if trace.ff_states:
+            self.good_state = GoodState(list(trace.ff_states[-1]))
+        self.vectors_applied += len(vectors)
+        self.detections.extend(detections)
+        self._after_commit(trace)
+        return CommitResult(
+            frames=len(vectors),
+            detections=detections,
+            detected_count=len(detected_ids),
+            remaining=len(self.active),
+        )
+
+    def _after_commit(self, trace: _GoodTrace) -> None:
+        """Hook for subclasses needing committed-trace bookkeeping
+        (e.g. the transition-fault model's previous-value state)."""
+
+    def run_test_set(self, vectors: Sequence[Vector]) -> CommitResult:
+        """Convenience: commit an entire pre-built test set at once."""
+        return self.commit(vectors)

@@ -1,0 +1,113 @@
+"""Crossover operators (paper §II): 1-point, 2-point, uniform.
+
+Operators are generic over gene type, so the same three classes serve
+both codings: with :class:`~repro.ga.chromosome.BinaryCoding` genes are
+bits; with :class:`~repro.ga.chromosome.NonbinaryCoding` genes are whole
+vectors, which realizes the paper's "crossover can occur at test vector
+boundaries only" rule for the nonbinary alphabet.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence, Tuple
+
+Pair = Tuple[List[int], List[int]]
+
+
+class CrossoverOperator(Protocol):
+    """Strategy interface: combine two parents into two children."""
+
+    name: str
+
+    def cross(self, a: Sequence[int], b: Sequence[int], rng: random.Random) -> Pair:
+        """Combine two equal-length parents into two children."""
+        ...
+
+
+def _check(a: Sequence[int], b: Sequence[int]) -> None:
+    if len(a) != len(b):
+        raise ValueError(f"parent lengths differ: {len(a)} vs {len(b)}")
+    if len(a) == 0:
+        raise ValueError("cannot cross empty chromosomes")
+
+
+@dataclass(frozen=True)
+class OnePoint:
+    """Cut both parents at one random position in [1, L-1] and swap tails."""
+
+    name: str = "1-point"
+
+    def cross(self, a: Sequence[int], b: Sequence[int], rng: random.Random) -> Pair:
+        """Single random cut point; tails swapped."""
+        _check(a, b)
+        length = len(a)
+        if length == 1:  # degenerate: nothing to cut, children = parents
+            return list(a), list(b)
+        point = rng.randint(1, length - 1)
+        return (
+            list(a[:point]) + list(b[point:]),
+            list(b[:point]) + list(a[point:]),
+        )
+
+
+@dataclass(frozen=True)
+class TwoPoint:
+    """Swap the segment between two random cut positions."""
+
+    name: str = "2-point"
+
+    def cross(self, a: Sequence[int], b: Sequence[int], rng: random.Random) -> Pair:
+        """Two random cut points; middle segment swapped."""
+        _check(a, b)
+        length = len(a)
+        if length == 1:
+            return list(a), list(b)
+        p = rng.randint(1, length - 1)
+        q = rng.randint(1, length - 1)
+        if p > q:
+            p, q = q, p
+        return (
+            list(a[:p]) + list(b[p:q]) + list(a[q:]),
+            list(b[:p]) + list(a[p:q]) + list(b[q:]),
+        )
+
+
+@dataclass(frozen=True)
+class Uniform:
+    """Swap each gene independently with probability ``swap_prob``.
+
+    The paper's recommended operator (with the typical probability 1/2).
+    """
+
+    swap_prob: float = 0.5
+    name: str = "uniform"
+
+    def cross(self, a: Sequence[int], b: Sequence[int], rng: random.Random) -> Pair:
+        """Independent per-gene swaps."""
+        _check(a, b)
+        child_a = list(a)
+        child_b = list(b)
+        for i in range(len(child_a)):
+            if rng.random() < self.swap_prob:
+                child_a[i], child_b[i] = child_b[i], child_a[i]
+        return child_a, child_b
+
+
+#: Registry used by configuration code and the experiment harness.
+CROSSOVER_OPERATORS = {
+    "1-point": OnePoint,
+    "2-point": TwoPoint,
+    "uniform": Uniform,
+}
+
+
+def make_crossover(name: str) -> CrossoverOperator:
+    """Construct a crossover operator by registry name."""
+    try:
+        return CROSSOVER_OPERATORS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown crossover {name!r}; choose from {sorted(CROSSOVER_OPERATORS)}"
+        ) from None

@@ -1,0 +1,197 @@
+"""The genetic-algorithm engine (Goldberg's simple GA plus the paper's
+overlapping-generation variant).
+
+The engine is application-agnostic: it evolves chromosomes under a
+coding, a selection scheme, a crossover operator and a mutation rate,
+calling a user-supplied *batch* evaluator for fitness.  Batching is what
+lets GATEST score a whole population with one pattern-parallel simulator
+pass (see :mod:`repro.sim.logic3`).
+
+GATEST specifics — fitness functions, parameter schedules, phase logic —
+live in :mod:`repro.core`; nothing here knows about circuits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from .chromosome import Chromosome
+from .crossover import CrossoverOperator, make_crossover
+from .mutation import Mutation
+from .population import Individual, Population
+from .selection import SelectionScheme, make_selection
+
+BatchEvaluator = Callable[[List[Chromosome]], List[float]]
+
+
+@dataclass
+class GAParams:
+    """Knobs of one GA run (paper §II, §III-C, §III-D).
+
+    ``generation_gap`` is G = g/N: the fraction of the population
+    replaced per generation.  G = 1 is the simple nonoverlapping GA.
+    """
+
+    population_size: int
+    generations: int = 8
+    selection: str = "tournament"
+    crossover: str = "uniform"
+    mutation_rate: float = 1 / 64
+    crossover_prob: float = 1.0
+    generation_gap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population size must be at least 2")
+        if self.generations < 1:
+            raise ValueError("need at least one generation")
+        if not 0.0 <= self.crossover_prob <= 1.0:
+            raise ValueError("crossover probability must be in [0, 1]")
+        if not 0.0 < self.generation_gap <= 1.0:
+            raise ValueError("generation gap must be in (0, 1]")
+
+    @property
+    def offspring_per_generation(self) -> int:
+        """g = G * N, rounded to an even count of at least 2."""
+        g = max(2, round(self.generation_gap * self.population_size))
+        return g + (g % 2)
+
+
+@dataclass
+class GAResult:
+    """Outcome of one GA run."""
+
+    best: Individual
+    best_generation: int        # generation in which the best first appeared
+    generations_run: int
+    evaluations: int            # total fitness evaluations performed
+    history: List[float] = field(default_factory=list)  # best fitness per gen
+
+
+class GeneticAlgorithm:
+    """One GA run over a fixed coding and evaluator.
+
+    ``evaluator`` receives a list of chromosomes and must return their
+    fitnesses in order; it is called once per generation (plus once for
+    the initial population).
+    """
+
+    def __init__(
+        self,
+        coding,
+        evaluator: BatchEvaluator,
+        params: GAParams,
+        rng: Optional[random.Random] = None,
+        initial: Optional[Sequence[Chromosome]] = None,
+    ) -> None:
+        self.coding = coding
+        self.evaluator = evaluator
+        self.params = params
+        self.rng = rng if rng is not None else random.Random()
+        self.selection: SelectionScheme = (
+            make_selection(params.selection)
+            if isinstance(params.selection, str) else params.selection
+        )
+        self.crossover: CrossoverOperator = (
+            make_crossover(params.crossover)
+            if isinstance(params.crossover, str) else params.crossover
+        )
+        self.mutation = Mutation(params.mutation_rate)
+        self._initial = list(initial) if initial is not None else None
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, chromosomes: List[Chromosome]) -> List[float]:
+        fitnesses = self.evaluator(chromosomes)
+        if len(fitnesses) != len(chromosomes):
+            raise ValueError(
+                f"evaluator returned {len(fitnesses)} fitnesses "
+                f"for {len(chromosomes)} chromosomes"
+            )
+        self.evaluations += len(chromosomes)
+        return list(fitnesses)
+
+    def _initial_population(self) -> Population:
+        size = self.params.population_size
+        if self._initial is not None:
+            chromosomes = [list(c) for c in self._initial]
+            if len(chromosomes) != size:
+                raise ValueError(
+                    f"initial population has {len(chromosomes)} members, "
+                    f"expected {size}"
+                )
+        else:
+            chromosomes = [self.coding.random(self.rng) for _ in range(size)]
+        fitnesses = self._evaluate(chromosomes)
+        return Population(
+            [Individual(c, f) for c, f in zip(chromosomes, fitnesses)]
+        )
+
+    def _breed(self, population: Population, n_offspring: int) -> List[Chromosome]:
+        """Select, cross and mutate to produce ``n_offspring`` chromosomes."""
+        rng = self.rng
+        parents = self.selection.select(
+            population.fitnesses, n_offspring, rng
+        )
+        offspring: List[Chromosome] = []
+        for i in range(0, n_offspring - 1, 2):
+            a = population[parents[i]].chromosome
+            b = population[parents[i + 1]].chromosome
+            if rng.random() < self.params.crossover_prob:
+                child_a, child_b = self.crossover.cross(a, b, rng)
+            else:
+                child_a, child_b = list(a), list(b)
+            offspring.append(self.mutation.mutate(child_a, self.coding, rng))
+            offspring.append(self.mutation.mutate(child_b, self.coding, rng))
+        return offspring[:n_offspring]
+
+    def run(self, on_generation: Optional[Callable[[int, Population], None]] = None) -> GAResult:
+        """Evolve for the configured number of generations.
+
+        ``on_generation(gen_index, population)`` is called after each
+        generation (and for the initial population with index 0) — used
+        by the experiment traces for Figures 1 and 2.
+        """
+        params = self.params
+        population = self._initial_population()
+        best = population.best().copy()
+        best_generation = 0
+        history = [best.fitness]
+        if on_generation is not None:
+            on_generation(0, population)
+
+        overlapping = params.generation_gap < 1.0
+        for generation in range(1, params.generations + 1):
+            if overlapping:
+                n_offspring = min(
+                    params.offspring_per_generation, params.population_size
+                )
+            else:
+                n_offspring = params.population_size
+            chromosomes = self._breed(population, n_offspring)
+            fitnesses = self._evaluate(chromosomes)
+            offspring = [
+                Individual(c, f) for c, f in zip(chromosomes, fitnesses)
+            ]
+            if overlapping:
+                population.replace_worst(offspring)
+            else:
+                population.replace_all(offspring)
+            generation_best = population.best()
+            if generation_best.fitness > best.fitness:
+                best = generation_best.copy()
+                best_generation = generation
+            history.append(population.best().fitness)
+            if on_generation is not None:
+                on_generation(generation, population)
+
+        return GAResult(
+            best=best,
+            best_generation=best_generation,
+            generations_run=params.generations,
+            evaluations=self.evaluations,
+            history=history,
+        )

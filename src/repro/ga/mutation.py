@@ -1,0 +1,34 @@
+"""Mutation operator (paper §II): per-gene point mutation.
+
+The gene-level semantics live on the coding (bit flip for binary,
+whole-vector replacement for nonbinary — paper §III-A); this module
+applies them at a configurable per-gene rate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """Mutate each gene independently with probability ``rate``."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"mutation rate must be in [0, 1], got {self.rate}")
+
+    def mutate(self, chromosome: Sequence[int], coding, rng: random.Random) -> List[int]:
+        """Return a (possibly) mutated copy; the input is not modified."""
+        out = list(chromosome)
+        rate = self.rate
+        if rate == 0.0:
+            return out
+        for i in range(len(out)):
+            if rng.random() < rate:
+                out[i] = coding.mutate_gene(out[i], rng)
+        return out

@@ -1,0 +1,80 @@
+"""Population containers, including overlapping generations (paper §III-C).
+
+A :class:`Population` owns evaluated individuals and implements the two
+replacement policies the paper compares:
+
+* **nonoverlapping** (generation gap G = 1): the offspring generation
+  wholly replaces its parents;
+* **overlapping** (G < 1): ``g = G * N`` offspring are produced per
+  generation and replace the ``g`` *worst* individuals, saving
+  ``N - g`` fitness evaluations per generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+
+@dataclass
+class Individual:
+    """One evaluated chromosome."""
+
+    chromosome: List[int]
+    fitness: float = 0.0
+
+    def copy(self) -> "Individual":
+        """Deep copy (fresh chromosome list)."""
+        return Individual(list(self.chromosome), self.fitness)
+
+
+class Population:
+    """A fixed-size collection of evaluated individuals."""
+
+    def __init__(self, individuals: Sequence[Individual]) -> None:
+        if not individuals:
+            raise ValueError("population cannot be empty")
+        self.individuals: List[Individual] = list(individuals)
+
+    def __len__(self) -> int:
+        return len(self.individuals)
+
+    def __iter__(self):
+        return iter(self.individuals)
+
+    def __getitem__(self, index: int) -> Individual:
+        return self.individuals[index]
+
+    @property
+    def fitnesses(self) -> List[float]:
+        """Fitness vector in population order."""
+        return [ind.fitness for ind in self.individuals]
+
+    def best(self) -> Individual:
+        """Fittest individual (ties broken by position, deterministically)."""
+        return max(self.individuals, key=lambda ind: ind.fitness)
+
+    def worst_indices(self, count: int) -> List[int]:
+        """Indices of the ``count`` least-fit individuals."""
+        order = sorted(range(len(self.individuals)),
+                       key=lambda i: self.individuals[i].fitness)
+        return order[:count]
+
+    def replace_all(self, offspring: Sequence[Individual]) -> None:
+        """Nonoverlapping replacement: discard the old generation."""
+        if len(offspring) != len(self.individuals):
+            raise ValueError(
+                f"offspring count {len(offspring)} != population size {len(self)}"
+            )
+        self.individuals = list(offspring)
+
+    def replace_worst(self, offspring: Sequence[Individual]) -> None:
+        """Overlapping replacement: offspring overwrite the worst."""
+        if len(offspring) > len(self.individuals):
+            raise ValueError("more offspring than population slots")
+        for index, child in zip(self.worst_indices(len(offspring)), offspring):
+            self.individuals[index] = child
+
+    def mean_fitness(self) -> float:
+        """Arithmetic mean fitness."""
+        return sum(self.fitnesses) / len(self.individuals)

@@ -1,0 +1,158 @@
+"""Selection schemes (paper §II): roulette wheel, stochastic universal,
+and binary tournament with/without replacement.
+
+Every scheme implements ``select(fitnesses, n, rng) -> list[int]``: draw
+``n`` parent indices from a population described by its fitness vector.
+Fitness values must be non-negative (GATEST's fitness functions are);
+when the whole population has zero fitness, proportionate schemes fall
+back to uniform random draws rather than dividing by zero.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence
+
+
+class SelectionScheme(Protocol):
+    """Strategy interface for parent selection."""
+
+    name: str
+
+    def select(self, fitnesses: Sequence[float], n: int, rng: random.Random) -> List[int]:
+        """Return ``n`` selected population indices (repeats allowed)."""
+        ...
+
+
+def _validate(fitnesses: Sequence[float]) -> None:
+    if not fitnesses:
+        raise ValueError("cannot select from an empty population")
+    if any(f < 0 for f in fitnesses):
+        raise ValueError("proportionate selection requires non-negative fitness")
+
+
+@dataclass(frozen=True)
+class RouletteWheel:
+    """Proportionate selection: slot size ~ fitness, one spin per pick."""
+
+    name: str = "roulette"
+
+    def select(self, fitnesses: Sequence[float], n: int, rng: random.Random) -> List[int]:
+        """Spin the wheel ``n`` times (binary search over the CDF)."""
+        _validate(fitnesses)
+        total = float(sum(fitnesses))
+        if total <= 0.0:
+            return [rng.randrange(len(fitnesses)) for _ in range(n)]
+        cumulative = list(itertools.accumulate(fitnesses))
+        picks = []
+        for _ in range(n):
+            spin = rng.random() * total
+            lo, hi = 0, len(cumulative) - 1
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if cumulative[mid] <= spin:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            picks.append(lo)
+        return picks
+
+
+@dataclass(frozen=True)
+class StochasticUniversal:
+    """Baker's stochastic universal sampling: N equidistant markers, one spin.
+
+    Lower selection noise than roulette — the number of copies of each
+    individual deviates from its expectation by less than one.
+    """
+
+    name: str = "sus"
+
+    def select(self, fitnesses: Sequence[float], n: int, rng: random.Random) -> List[int]:
+        """One spin, ``n`` equidistant markers; order then shuffled."""
+        _validate(fitnesses)
+        total = float(sum(fitnesses))
+        if total <= 0.0:
+            return [rng.randrange(len(fitnesses)) for _ in range(n)]
+        step = total / n
+        marker = rng.random() * step
+        picks = []
+        cumulative = 0.0
+        index = 0
+        for f in fitnesses:
+            cumulative += f
+            while marker < cumulative and len(picks) < n:
+                picks.append(index)
+                marker += step
+            index += 1
+        while len(picks) < n:  # guard against floating-point shortfall
+            picks.append(len(fitnesses) - 1)
+        rng.shuffle(picks)  # pairing order must not correlate with index
+        return picks
+
+
+@dataclass(frozen=True)
+class TournamentWithReplacement:
+    """Binary tournament; contestants are drawn with replacement."""
+
+    name: str = "tournament-r"
+
+    def select(self, fitnesses: Sequence[float], n: int, rng: random.Random) -> List[int]:
+        """``n`` independent two-contestant tournaments."""
+        _validate(fitnesses)
+        size = len(fitnesses)
+        picks = []
+        for _ in range(n):
+            a = rng.randrange(size)
+            b = rng.randrange(size)
+            picks.append(a if fitnesses[a] >= fitnesses[b] else b)
+        return picks
+
+
+@dataclass(frozen=True)
+class TournamentWithoutReplacement:
+    """Binary tournament without replacement (the paper's best scheme).
+
+    The population is shuffled and contestants paired off; each
+    individual enters exactly one tournament per traversal, so in one
+    pass the best individual wins once and the worst never wins.  The
+    permutation is refreshed whenever it runs out.
+    """
+
+    name: str = "tournament"
+
+    def select(self, fitnesses: Sequence[float], n: int, rng: random.Random) -> List[int]:
+        """Pair off a shuffled population; refresh when exhausted."""
+        _validate(fitnesses)
+        size = len(fitnesses)
+        picks: List[int] = []
+        pool: List[int] = []
+        while len(picks) < n:
+            if len(pool) < 2:
+                pool = list(range(size))
+                rng.shuffle(pool)
+            a = pool.pop()
+            b = pool.pop()
+            picks.append(a if fitnesses[a] >= fitnesses[b] else b)
+        return picks
+
+
+#: Registry used by configuration code and the experiment harness.
+SELECTION_SCHEMES = {
+    "roulette": RouletteWheel,
+    "sus": StochasticUniversal,
+    "tournament": TournamentWithoutReplacement,
+    "tournament-r": TournamentWithReplacement,
+}
+
+
+def make_selection(name: str) -> SelectionScheme:
+    """Construct a selection scheme by registry name."""
+    try:
+        return SELECTION_SCHEMES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown selection scheme {name!r}; choose from {sorted(SELECTION_SCHEMES)}"
+        ) from None

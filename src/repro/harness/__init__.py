@@ -1,0 +1,17 @@
+"""Experiment harness: runners, table rendering, paper reference data."""
+
+from . import paper_data
+from .runner import AggregateResult, compiled_circuit_for, run_gatest, run_matrix
+from .tables import TextTable, fmt_mean_std, fmt_time, mean_std
+
+__all__ = [
+    "AggregateResult",
+    "TextTable",
+    "compiled_circuit_for",
+    "fmt_mean_std",
+    "fmt_time",
+    "mean_std",
+    "paper_data",
+    "run_gatest",
+    "run_matrix",
+]

@@ -1,0 +1,82 @@
+"""Plain-text table rendering for experiment reports.
+
+Produces the paper's presentation conventions: mean values with the
+standard deviation in parentheses, h/m/s time formatting, and aligned
+monospace columns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def fmt_time(seconds: Optional[float]) -> str:
+    """Format seconds in the paper's style: 6.05m, 4.44h, 12.3s."""
+    if seconds is None:
+        return "-"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.2f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.2f}m"
+    return f"{seconds:.2f}s"
+
+
+def fmt_mean_std(mean: float, std: Optional[float] = None, digits: int = 1) -> str:
+    """Format as ``264.7(0.5)`` like the paper's Table 2."""
+    if std is None:
+        return f"{mean:.{digits}f}"
+    return f"{mean:.{digits}f}({std:.{digits}f})"
+
+
+def mean_std(values: Sequence[float]) -> tuple:
+    """Sample mean and (population) standard deviation."""
+    if not values:
+        return (0.0, 0.0)
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return (mean, math.sqrt(var))
+
+
+@dataclass
+class TextTable:
+    """Monospace table builder."""
+
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    title: Optional[str] = None
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row (None renders as '-')."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(["-" if c is None else str(c) for c in cells])
+
+    def render(self) -> str:
+        """Format the table with aligned columns."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+        out = []
+        if self.title:
+            out.append(self.title)
+            out.append("=" * len(self.title))
+        out.append(line(self.headers))
+        out.append(line(["-" * w for w in widths]))
+        for row in self.rows:
+            out.append(line(row))
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

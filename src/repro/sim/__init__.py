@@ -1,0 +1,21 @@
+"""Simulation substrate: compiled word-parallel and event-driven simulators."""
+
+from .compile import CompiledCircuit, compile_circuit, eval_program, eval_program_injected
+from .events import EventFrameResult, EventSimulator
+from .logic3 import FrameStats, GoodState, PatternSimulator, SerialSimulator, Vector
+from .vcd import dump_vcd
+
+__all__ = [
+    "CompiledCircuit",
+    "EventFrameResult",
+    "EventSimulator",
+    "FrameStats",
+    "GoodState",
+    "PatternSimulator",
+    "SerialSimulator",
+    "Vector",
+    "dump_vcd",
+    "compile_circuit",
+    "eval_program",
+    "eval_program_injected",
+]

@@ -1,0 +1,211 @@
+"""Compilation of a netlist into a flat word-parallel evaluation program.
+
+Simulation is the hot path of the whole reproduction (DESIGN.md §6), so
+instead of dispatching on :class:`~repro.circuit.gates.GateType` per gate
+per frame, a circuit is compiled once into a list of small tuples
+``(out_id, opcode, invert, fanin_ids)`` in levelized order.  The
+evaluators in :mod:`repro.sim.logic3` and
+:mod:`repro.faults.simulator` then run a tight loop over that program
+using two bit-plane lists ``v1``/``v0`` (see :mod:`repro.circuit.gates`
+for the encoding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit
+
+# Opcodes for the compiled program.
+OP_AND = 0
+OP_OR = 1
+OP_XOR = 2
+OP_COPY = 3  # BUFF / NOT (invert flag distinguishes them)
+
+_OPCODE_OF = {
+    GateType.AND: (OP_AND, False),
+    GateType.NAND: (OP_AND, True),
+    GateType.OR: (OP_OR, False),
+    GateType.NOR: (OP_OR, True),
+    GateType.XOR: (OP_XOR, False),
+    GateType.XNOR: (OP_XOR, True),
+    GateType.BUFF: (OP_COPY, False),
+    GateType.NOT: (OP_COPY, True),
+}
+
+Instruction = Tuple[int, int, bool, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class CompiledCircuit:
+    """A circuit plus its flat evaluation program and index tables."""
+
+    circuit: Circuit
+    program: Tuple[Instruction, ...]
+    pi_ids: Tuple[int, ...]
+    po_ids: Tuple[int, ...]
+    ff_ids: Tuple[int, ...]
+    ff_d_ids: Tuple[int, ...]  # node driving each DFF's D input
+    num_nodes: int
+
+    @property
+    def num_pis(self) -> int:
+        """Primary input count."""
+        return len(self.pi_ids)
+
+    @property
+    def num_pos(self) -> int:
+        """Primary output count."""
+        return len(self.po_ids)
+
+    @property
+    def num_ffs(self) -> int:
+        """Flip-flop count."""
+        return len(self.ff_ids)
+
+
+def compile_circuit(circuit: Circuit) -> CompiledCircuit:
+    """Compile a finalized circuit into its evaluation program."""
+    program: List[Instruction] = []
+    for node_id in circuit.topo_order:
+        gate_type = circuit.node_types[node_id]
+        opcode, invert = _OPCODE_OF[gate_type]
+        program.append((node_id, opcode, invert, circuit.fanins[node_id]))
+    return CompiledCircuit(
+        circuit=circuit,
+        program=tuple(program),
+        pi_ids=tuple(circuit.inputs),
+        po_ids=tuple(circuit.outputs),
+        ff_ids=tuple(circuit.dffs),
+        ff_d_ids=tuple(circuit.fanins[ff][0] for ff in circuit.dffs),
+        num_nodes=circuit.num_nodes,
+    )
+
+
+def eval_program(
+    program: Tuple[Instruction, ...],
+    v1: List[int],
+    v0: List[int],
+    mask: int,
+) -> None:
+    """Evaluate the compiled program in place over the bit planes.
+
+    ``v1[i]``/``v0[i]`` must hold the PI and FF (present state) values on
+    entry; on exit every combinational node's planes are filled in.
+    ``mask`` is the all-slots-active word.
+    """
+    for out, opcode, invert, fanins in program:
+        if opcode == OP_AND:
+            a1 = mask
+            a0 = 0
+            for f in fanins:
+                a0 |= v0[f]
+                a1 &= v1[f]
+        elif opcode == OP_OR:
+            a1 = 0
+            a0 = mask
+            for f in fanins:
+                a1 |= v1[f]
+                a0 &= v0[f]
+        elif opcode == OP_XOR:
+            f = fanins[0]
+            a1, a0 = v1[f], v0[f]
+            for f in fanins[1:]:
+                b1, b0 = v1[f], v0[f]
+                a1, a0 = (a1 & b0) | (a0 & b1), (a1 & b1) | (a0 & b0)
+        else:  # OP_COPY
+            f = fanins[0]
+            a1, a0 = v1[f], v0[f]
+        if invert:
+            v1[out], v0[out] = a0, a1
+        else:
+            v1[out], v0[out] = a1, a0
+
+
+def _force(b1: int, b0: int, f1: int, f0: int) -> Tuple[int, int]:
+    """Overwrite slots of a (v1, v0) pair with stuck values."""
+    if f1:
+        b1 |= f1
+        b0 &= ~f1
+    if f0:
+        b0 |= f0
+        b1 &= ~f0
+    return b1, b0
+
+
+def eval_program_injected(
+    program: Tuple[Instruction, ...],
+    v1: List[int],
+    v0: List[int],
+    mask: int,
+    out_force: dict,
+    pin_force: dict,
+) -> None:
+    """Evaluate with per-slot stuck-at injection (the fault-group path).
+
+    ``out_force[node] -> (force1_word, force0_word)`` forces slots of a
+    node's *output*; ``pin_force[gate] -> [(pin, force1, force0), ...]``
+    forces specific fanin pins of a gate.  Forcing wins over the computed
+    value; the fault grouper guarantees at most one fault per slot, so
+    the forced-to-1 and forced-to-0 slot sets are disjoint.  Gates
+    without injections take a fast path identical to
+    :func:`eval_program`.
+    """
+    for out, opcode, invert, fanins in program:
+        pins = pin_force.get(out)
+        if pins is None:
+            # Fast path: no pin faults on this gate.
+            if opcode == OP_AND:
+                a1 = mask
+                a0 = 0
+                for f in fanins:
+                    a0 |= v0[f]
+                    a1 &= v1[f]
+            elif opcode == OP_OR:
+                a1 = 0
+                a0 = mask
+                for f in fanins:
+                    a1 |= v1[f]
+                    a0 &= v0[f]
+            elif opcode == OP_XOR:
+                f = fanins[0]
+                a1, a0 = v1[f], v0[f]
+                for f in fanins[1:]:
+                    b1, b0 = v1[f], v0[f]
+                    a1, a0 = (a1 & b0) | (a0 & b1), (a1 & b1) | (a0 & b0)
+            else:  # OP_COPY
+                f = fanins[0]
+                a1, a0 = v1[f], v0[f]
+        else:
+            forced = {pin: (f1, f0) for pin, f1, f0 in pins}
+            values = []
+            for pin, f in enumerate(fanins):
+                b1, b0 = v1[f], v0[f]
+                if pin in forced:
+                    b1, b0 = _force(b1, b0, *forced[pin])
+                values.append((b1, b0))
+            if opcode == OP_AND:
+                a1 = mask
+                a0 = 0
+                for b1, b0 in values:
+                    a0 |= b0
+                    a1 &= b1
+            elif opcode == OP_OR:
+                a1 = 0
+                a0 = mask
+                for b1, b0 in values:
+                    a1 |= b1
+                    a0 &= b0
+            elif opcode == OP_XOR:
+                a1, a0 = values[0]
+                for b1, b0 in values[1:]:
+                    a1, a0 = (a1 & b0) | (a0 & b1), (a1 & b1) | (a0 & b0)
+            else:  # OP_COPY
+                a1, a0 = values[0]
+        if invert:
+            a1, a0 = a0, a1
+        if out in out_force:
+            a1, a0 = _force(a1, a0, *out_force[out])
+        v1[out], v0[out] = a1, a0

@@ -1,0 +1,133 @@
+"""Event-driven scalar three-valued simulator.
+
+This is the *reference* simulator: simple enough to be obviously correct,
+used by the test suite to cross-check the compiled word-parallel path,
+and by anything that wants true event counts (gate evaluations triggered
+by value changes, the quantity PROOFS tracks and the paper's phase-3
+fitness uses as "circuit activity").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..circuit.gates import GateType, X, eval_gate_scalar
+from ..circuit.netlist import Circuit
+from .logic3 import GoodState, Vector
+
+
+@dataclass
+class EventFrameResult:
+    """Observations from one event-driven time frame."""
+
+    po_values: List[int]
+    events: int              # gate evaluations scheduled by value changes
+    changed_nodes: int       # nodes whose settled value differs from last frame
+
+
+class EventSimulator:
+    """Event-driven simulation of the fault-free machine, one slot.
+
+    Values settle within a frame by propagating changes level by level
+    (the circuit is acyclic between flip-flops, so each gate is evaluated
+    at most once per frame when events arrive in level order).
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.values: List[int] = [X] * circuit.num_nodes
+        self.ff_next: List[int] = [X] * circuit.num_dffs
+        self._level_buckets: List[List[int]] = [
+            [] for _ in range(circuit.max_level() + 1)
+        ]
+        self.total_events = 0
+
+    def reset(self, state: Optional[GoodState] = None) -> None:
+        """Reset to power-up (or a given flip-flop state)."""
+        circuit = self.circuit
+        self.values = [X] * circuit.num_nodes
+        if state is None:
+            state = GoodState.unknown(circuit.num_dffs)
+        for k, ff in enumerate(circuit.dffs):
+            self.values[ff] = state.ff_values[k]
+        # The "captured" next state starts equal to the present state so
+        # the first step() needn't special-case the clock edge.
+        self.ff_next = [state.ff_values[k] for k in range(circuit.num_dffs)]
+        self.total_events = 0
+
+    def step(self, vector: Vector) -> EventFrameResult:
+        """Clock one frame with ``vector`` on the primary inputs."""
+        circuit = self.circuit
+        if len(vector) != circuit.num_inputs:
+            raise ValueError(
+                f"vector has {len(vector)} bits, circuit has {circuit.num_inputs} PIs"
+            )
+        old_values = list(self.values)
+        events = 0
+
+        # Schedule initial events: changed PIs and updated FF outputs.
+        scheduled = [False] * circuit.num_nodes
+        for bucket in self._level_buckets:
+            bucket.clear()
+
+        def schedule_fanout(node_id: int) -> None:
+            for succ in circuit.fanouts[node_id]:
+                if circuit.node_types[succ].is_combinational and not scheduled[succ]:
+                    scheduled[succ] = True
+                    self._level_buckets[circuit.levels[succ]].append(succ)
+
+        for j, pi in enumerate(circuit.inputs):
+            if self.values[pi] != vector[j]:
+                self.values[pi] = vector[j]
+                schedule_fanout(pi)
+        # Clock edge: FF present state <- captured next state.
+        for k, ff in enumerate(circuit.dffs):
+            if self.values[ff] != self.ff_next[k]:
+                self.values[ff] = self.ff_next[k]
+                schedule_fanout(ff)
+
+        # Propagate in level order.
+        for level_bucket in self._level_buckets:
+            for node_id in level_bucket:
+                scheduled[node_id] = False
+                events += 1
+                new_value = eval_gate_scalar(
+                    self.circuit.node_types[node_id],
+                    (self.values[f] for f in circuit.fanins[node_id]),
+                )
+                if new_value != self.values[node_id]:
+                    self.values[node_id] = new_value
+                    schedule_fanout(node_id)
+
+        # Capture next state at the D inputs.
+        for k, ff in enumerate(circuit.dffs):
+            self.ff_next[k] = self.values[circuit.fanins[ff][0]]
+
+        self.total_events += events
+        changed = sum(
+            1 for node_id in range(circuit.num_nodes)
+            if self.values[node_id] != old_values[node_id]
+        )
+        return EventFrameResult(
+            po_values=[self.values[po] for po in circuit.outputs],
+            events=events,
+            changed_nodes=changed,
+        )
+
+    def run_sequence(self, vectors: Sequence[Vector], state: Optional[GoodState] = None) -> List[List[int]]:
+        """Reset and apply a sequence; return the PO trace."""
+        self.reset(state)
+        trace = []
+        for vector in vectors:
+            trace.append(self.step(vector).po_values)
+        return trace
+
+    @property
+    def state(self) -> GoodState:
+        """The flip-flop state the *next* step() will clock in.
+
+        Matches :attr:`SerialSimulator.state` semantics so the two
+        simulators can be cross-checked frame by frame.
+        """
+        return GoodState(list(self.ff_next))

@@ -1,0 +1,126 @@
+"""Tests for the .bench parser and writer."""
+
+import pytest
+
+from repro.circuit import (
+    BenchParseError,
+    GateType,
+    parse_bench,
+    save_bench,
+    load_bench,
+    synthesize_named,
+    write_bench,
+)
+
+SIMPLE = """
+# a comment
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+"""
+
+
+class TestParse:
+    def test_simple(self):
+        c = parse_bench(SIMPLE, name="simple")
+        assert c.name == "simple"
+        assert c.num_inputs == 2
+        assert c.node_types[c.id_of("y")] is GateType.NAND
+
+    def test_case_insensitive_keywords(self):
+        c = parse_bench("input(a)\noutput(y)\ny = nand(a, a)")
+        assert c.node_types[c.id_of("y")] is GateType.NAND
+
+    def test_inline_comment(self):
+        c = parse_bench("INPUT(a) # the input\nOUTPUT(y)\ny = NOT(a)")
+        assert c.num_inputs == 1
+
+    def test_forward_reference(self):
+        c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(z)\nz = NOT(a)")
+        assert c.num_gates == 2
+
+    def test_dff(self):
+        c = parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)")
+        assert c.num_dffs == 1
+        assert c.sequential_depth() == 1
+
+    def test_inv_and_buf_aliases(self):
+        c = parse_bench("INPUT(a)\nOUTPUT(y)\nn = INV(a)\ny = BUF(n)")
+        assert c.node_types[c.id_of("n")] is GateType.NOT
+        assert c.node_types[c.id_of("y")] is GateType.BUFF
+
+    def test_unknown_gate_reports_line(self):
+        with pytest.raises(BenchParseError, match="line 3.*FROB"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)")
+
+    def test_garbage_line_reports_line(self):
+        with pytest.raises(BenchParseError, match="line 2"):
+            parse_bench("INPUT(a)\nthis is not bench")
+
+    def test_dff_multiple_inputs_rejected(self):
+        with pytest.raises(BenchParseError, match="exactly one"):
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)")
+
+    def test_empty_fanin_rejected(self):
+        with pytest.raises(BenchParseError, match="no fanins"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND()")
+
+    def test_missing_definition_rejected(self):
+        with pytest.raises(BenchParseError, match="never defined"):
+            parse_bench("INPUT(a)\nOUTPUT(ghost)\ny = NOT(a)")
+
+    def test_duplicate_input_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)")
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self):
+        c1 = parse_bench(SIMPLE, name="t")
+        c2 = parse_bench(write_bench(c1), name="t")
+        assert c1.num_nodes == c2.num_nodes
+        assert [c1.node_types[i] for i in range(c1.num_nodes)] == [
+            c2.node_types[c2.id_of(c1.node_names[i])] for i in range(c1.num_nodes)
+        ]
+
+    @pytest.mark.parametrize("name", ["s298", "s386"])
+    def test_synth_round_trip(self, name):
+        c1 = synthesize_named(name, scale=0.2)
+        text = write_bench(c1)
+        c2 = parse_bench(text, name=c1.name)
+        assert c1.num_nodes == c2.num_nodes
+        assert c1.num_dffs == c2.num_dffs
+        assert c1.sequential_depth() == c2.sequential_depth()
+        # Structure must be identical node by node.
+        for node_id in range(c1.num_nodes):
+            name1 = c1.node_names[node_id]
+            other = c2.id_of(name1)
+            assert c1.node_types[node_id] == c2.node_types[other]
+            assert [c1.node_names[f] for f in c1.fanins[node_id]] == [
+                c2.node_names[f] for f in c2.fanins[other]
+            ]
+
+    def test_file_io(self, tmp_path, s27_circuit):
+        path = tmp_path / "s27.bench"
+        save_bench(s27_circuit, path)
+        loaded = load_bench(path)
+        assert loaded.name == "s27"
+        assert loaded.num_nodes == s27_circuit.num_nodes
+
+
+class TestBundledCircuits:
+    def test_s27_structure(self, s27_circuit):
+        assert s27_circuit.num_inputs == 4
+        assert s27_circuit.num_outputs == 1
+        assert s27_circuit.num_dffs == 3
+        assert s27_circuit.num_gates == 10
+
+    def test_c17_structure(self, c17_circuit):
+        assert c17_circuit.num_inputs == 5
+        assert c17_circuit.num_outputs == 2
+        assert c17_circuit.num_gates == 6
+        assert all(
+            c17_circuit.node_types[i] in (GateType.INPUT, GateType.NAND)
+            for i in range(c17_circuit.num_nodes)
+        )

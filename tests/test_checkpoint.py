@@ -1,0 +1,98 @@
+"""Tests for campaign checkpointing."""
+
+import json
+
+import pytest
+
+from repro.circuit import mini_fsm, s27, synthesize_named
+from repro.core import (
+    CheckpointError,
+    circuit_fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.faults import FaultSimulator
+
+from tests.conftest import random_vectors
+
+
+class TestFingerprint:
+    def test_stable(self, s27_circuit):
+        assert circuit_fingerprint(s27_circuit) == circuit_fingerprint(s27())
+
+    def test_distinguishes_circuits(self, s27_circuit, minifsm_circuit):
+        assert circuit_fingerprint(s27_circuit) != circuit_fingerprint(minifsm_circuit)
+
+    def test_distinguishes_seeds(self):
+        a = synthesize_named("s298", seed=1, scale=0.2)
+        b = synthesize_named("s298", seed=2, scale=0.2)
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+
+class TestRoundTrip:
+    def test_continuation_equivalence(self, tmp_path, s27_circuit):
+        """Resuming from a checkpoint must equal never having stopped."""
+        vectors = random_vectors(s27_circuit, 24, seed=2)
+        straight = FaultSimulator(s27_circuit)
+        straight.commit(vectors)
+
+        resumed = FaultSimulator(s27_circuit)
+        resumed.commit(vectors[:12])
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, resumed, test_sequence=vectors[:12])
+        restored, stored = load_checkpoint(path, s27())
+        assert stored == vectors[:12]
+        restored.commit(vectors[12:])
+
+        assert restored.detected_count == straight.detected_count
+        assert restored.undetected_faults() == straight.undetected_faults()
+        assert restored.good_state.ff_values == straight.good_state.ff_values
+        assert restored.vectors_applied == straight.vectors_applied
+
+    def test_detections_preserved(self, tmp_path, minifsm_circuit):
+        sim = FaultSimulator(minifsm_circuit)
+        sim.commit(random_vectors(minifsm_circuit, 10, seed=3))
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, sim)
+        restored, stored = load_checkpoint(path, mini_fsm())
+        assert stored == []
+        assert restored.detections == sim.detections
+
+    def test_divergences_preserved(self, tmp_path, minifsm_circuit):
+        sim = FaultSimulator(minifsm_circuit)
+        sim.commit(random_vectors(minifsm_circuit, 3, seed=4))
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, sim)
+        restored, _ = load_checkpoint(path, mini_fsm())
+        assert restored.divergence == sim.divergence
+
+
+class TestGuards:
+    def test_wrong_circuit_rejected(self, tmp_path, s27_circuit, minifsm_circuit):
+        sim = FaultSimulator(s27_circuit)
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, sim)
+        with pytest.raises(CheckpointError, match="different structure"):
+            load_checkpoint(path, minifsm_circuit)
+
+    def test_wrong_version_rejected(self, tmp_path, s27_circuit):
+        sim = FaultSimulator(s27_circuit)
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, sim)
+        payload = json.loads(path.read_text())
+        payload["format"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="format"):
+            load_checkpoint(path, s27_circuit)
+
+    def test_json_is_plain(self, tmp_path, s27_circuit):
+        """The checkpoint must be portable JSON (no pickled objects)."""
+        sim = FaultSimulator(s27_circuit)
+        sim.commit(random_vectors(s27_circuit, 5, seed=5))
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, sim, test_sequence=[[0, 1, 0, 1]])
+        payload = json.loads(path.read_text())
+        assert set(payload) >= {
+            "format", "circuit", "fingerprint", "faults", "status",
+            "good_state", "divergence", "test_sequence",
+        }

@@ -1,0 +1,104 @@
+"""Tests for the ``gatest`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestInfo:
+    def test_builtin(self, capsys):
+        code, out = run_cli(capsys, "info", "s27")
+        assert code == 0
+        assert "dffs       3" in out
+        assert "faults" in out
+
+    def test_synthetic(self, capsys):
+        code, out = run_cli(capsys, "info", "s298", "--scale", "0.1")
+        assert code == 0
+        assert "inputs     3" in out
+
+    def test_unknown_circuit(self, capsys):
+        with pytest.raises(SystemExit, match="unknown circuit"):
+            main(["info", "nosuch"])
+
+
+class TestRun:
+    def test_ga_engine_writes_tests(self, capsys, tmp_path):
+        out_file = tmp_path / "tests.txt"
+        code, out = run_cli(
+            capsys, "run", "s27", "--engine", "ga", "--seed", "1",
+            "-o", str(out_file),
+        )
+        assert code == 0
+        assert "det 26/26" in out
+        lines = [
+            l for l in out_file.read_text().splitlines()
+            if l and not l.startswith("#")
+        ]
+        assert all(len(l) == 4 and set(l) <= {"0", "1"} for l in lines)
+
+    def test_random_engine(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "s27", "--engine", "random", "--max-vectors", "64"
+        )
+        assert code == 0
+        assert "det" in out
+
+    def test_deterministic_engine(self, capsys):
+        code, out = run_cli(capsys, "run", "minifsm", "--engine", "deterministic")
+        assert code == 0
+        assert "untestable" in out
+
+
+class TestFsim:
+    def test_round_trip(self, capsys, tmp_path):
+        out_file = tmp_path / "tests.txt"
+        run_cli(capsys, "run", "s27", "--seed", "2", "-o", str(out_file))
+        code, out = run_cli(capsys, "fsim", "s27", str(out_file))
+        assert code == 0
+        assert "faults detected" in out
+
+    def test_verbose_lists_undetected(self, capsys, tmp_path):
+        tests = tmp_path / "t.txt"
+        tests.write_text("0000\n")
+        code, out = run_cli(capsys, "fsim", "s27", str(tests), "-v")
+        assert code == 0
+        assert "undetected:" in out
+
+    def test_bad_vector_rejected(self, capsys, tmp_path):
+        tests = tmp_path / "t.txt"
+        tests.write_text("01\n")
+        with pytest.raises(SystemExit, match="expected 4 bits"):
+            main(["fsim", "s27", str(tests)])
+
+
+class TestSynth:
+    def test_emits_bench(self, capsys):
+        code, out = run_cli(capsys, "synth", "s298", "--scale", "0.1")
+        assert code == 0
+        assert "INPUT(pi0)" in out
+
+    def test_writes_file(self, capsys, tmp_path):
+        out_file = tmp_path / "c.bench"
+        code, out = run_cli(
+            capsys, "synth", "s386", "--scale", "0.1", "-o", str(out_file)
+        )
+        assert code == 0
+        from repro.circuit import load_bench
+        circuit = load_bench(out_file)
+        assert circuit.num_inputs == 7
+
+    def test_bench_file_loadable_by_run(self, capsys, tmp_path):
+        out_file = tmp_path / "c.bench"
+        run_cli(capsys, "synth", "s298", "--scale", "0.1", "-o", str(out_file))
+        code, out = run_cli(
+            capsys, "run", str(out_file), "--engine", "random",
+            "--max-vectors", "32",
+        )
+        assert code == 0

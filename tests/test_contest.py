@@ -1,0 +1,46 @@
+"""Tests for the CONTEST-like unit-Hamming-distance baseline."""
+
+import pytest
+
+from repro.baselines import ContestLikeGenerator
+from repro.circuit import mini_fsm, resettable_counter, s27
+from repro.faults import FaultSimulator
+
+
+class TestContestLike:
+    def test_s27_high_coverage(self):
+        result = ContestLikeGenerator(s27(), seed=1).run()
+        assert result.fault_coverage > 0.9
+
+    def test_test_set_replays(self):
+        result = ContestLikeGenerator(mini_fsm(), seed=2).run()
+        fsim = FaultSimulator(mini_fsm())
+        fsim.commit(result.test_sequence)
+        assert fsim.detected_count == result.detected
+
+    def test_unit_hamming_moves(self):
+        """Consecutive vectors differ in at most one bit (the defining
+        restriction of this generator family)."""
+        result = ContestLikeGenerator(resettable_counter(3), seed=3).run()
+        for a, b in zip(result.test_sequence, result.test_sequence[1:]):
+            assert sum(x != y for x, y in zip(a, b)) <= 1
+
+    def test_stagnation_terminates(self):
+        result = ContestLikeGenerator(
+            mini_fsm(), seed=4, stagnation_limit=5, max_vectors=100_000
+        ).run()
+        assert result.vectors < 100_000
+
+    def test_vector_budget(self):
+        result = ContestLikeGenerator(mini_fsm(), seed=5, max_vectors=7).run()
+        assert result.vectors <= 7
+
+    def test_deterministic(self):
+        a = ContestLikeGenerator(s27(), seed=9).run()
+        b = ContestLikeGenerator(s27(), seed=9).run()
+        assert a.test_sequence == b.test_sequence
+
+    def test_evaluations_counted(self):
+        result = ContestLikeGenerator(s27(), seed=1).run()
+        # n_pi + 1 candidates per committed vector.
+        assert result.evaluations == result.vectors * (4 + 1)

@@ -1,0 +1,85 @@
+"""Tests for the GATEST configuration and parameter schedules."""
+
+import pytest
+
+from repro.core import TestGenConfig, ga_params_for_vector_length
+from repro.core.config import DEEP_CIRCUITS
+
+
+class TestTable1Schedule:
+    @pytest.mark.parametrize("length,pop,rate", [
+        (1, 8, 1 / 8),
+        (3, 8, 1 / 8),
+        (4, 16, 1 / 16),
+        (16, 16, 1 / 16),
+        (17, 16, 1 / 17),
+        (35, 16, 1 / 35),
+    ])
+    def test_schedule(self, length, pop, rate):
+        schedule = ga_params_for_vector_length(length)
+        assert schedule.population_size == pop
+        assert schedule.mutation_rate == pytest.approx(rate)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            ga_params_for_vector_length(0)
+
+
+class TestTestGenConfig:
+    def test_defaults_match_paper_main_config(self):
+        config = TestGenConfig()
+        assert config.selection == "tournament"
+        assert config.crossover == "uniform"
+        assert config.coding == "binary"
+        assert config.generations == 8
+        assert config.seq_population_size == 32
+        assert config.seq_mutation_rate == pytest.approx(1 / 64)
+        assert config.vector_progress_multiplier == 4.0
+        assert config.seq_length_multipliers == (1.0, 2.0, 4.0)
+        assert config.seq_fail_limit == 4
+
+    @pytest.mark.parametrize("name", DEEP_CIRCUITS)
+    def test_deep_circuit_overrides(self, name):
+        config = TestGenConfig().for_circuit(name)
+        assert config.vector_progress_multiplier == 1.0
+        assert config.seq_length_multipliers == (0.25, 0.5, 1.0)
+
+    def test_scaled_names_still_match_overrides(self):
+        config = TestGenConfig().for_circuit("s5378@0.3")
+        assert config.vector_progress_multiplier == 1.0
+
+    def test_normal_circuit_unchanged(self):
+        config = TestGenConfig()
+        assert config.for_circuit("s298") == config
+
+    def test_progress_limit(self):
+        assert TestGenConfig().progress_limit(8) == 32
+        assert TestGenConfig(vector_progress_multiplier=1.0).progress_limit(8) == 8
+        assert TestGenConfig().progress_limit(0) == 4  # depth floored at 1
+
+    def test_sequence_lengths(self):
+        assert TestGenConfig().sequence_lengths(8) == (8, 16, 32)
+        deep = TestGenConfig().for_circuit("s5378")
+        assert deep.sequence_lengths(36) == (9, 18, 36)
+
+    def test_sequence_lengths_deduplicated(self):
+        assert TestGenConfig().sequence_lengths(1) == (1, 2, 4)
+        config = TestGenConfig(seq_length_multipliers=(1.0, 1.0, 2.0))
+        assert config.sequence_lengths(4) == (4, 8)
+
+    def test_population_scaling(self):
+        config = TestGenConfig(population_scale=2.0)
+        assert config.vector_ga_schedule(10).population_size == 32
+        assert config.sequence_ga_schedule().population_size == 64
+        base = TestGenConfig()
+        assert base.vector_ga_schedule(10).population_size == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TestGenConfig(generations=0)
+        with pytest.raises(ValueError):
+            TestGenConfig(seq_fail_limit=0)
+        with pytest.raises(ValueError):
+            TestGenConfig(generation_gap=0.0)
+        with pytest.raises(ValueError):
+            TestGenConfig(population_scale=0.0)

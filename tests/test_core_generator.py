@@ -1,0 +1,142 @@
+"""End-to-end tests for the GATEST generator."""
+
+import pytest
+
+from repro.circuit import mini_fsm, resettable_counter, s27, uninitializable_loop
+from repro.core import GaTestGenerator, Phase, TestGenConfig, generate_tests
+from repro.faults import FaultSimulator
+
+
+@pytest.fixture(scope="module")
+def s27_result():
+    from repro.circuit import s27 as make
+    return GaTestGenerator(make(), TestGenConfig(seed=1)).run()
+
+
+class TestEndToEnd:
+    def test_s27_full_coverage(self, s27_result):
+        # s27's collapsed fault list is fully testable; GATEST finds all.
+        assert s27_result.detected == s27_result.total_faults
+        assert s27_result.fault_coverage == 1.0
+
+    def test_test_set_replays_to_same_coverage(self, s27_result):
+        """The reported test set must actually achieve the reported
+        coverage when replayed through a fresh fault simulator."""
+        from repro.circuit import s27 as make
+        fsim = FaultSimulator(make())
+        fsim.commit(s27_result.test_sequence)
+        assert fsim.detected_count == s27_result.detected
+
+    def test_deterministic_given_seed(self):
+        a = GaTestGenerator(s27(), TestGenConfig(seed=5)).run()
+        b = GaTestGenerator(s27(), TestGenConfig(seed=5)).run()
+        assert a.test_sequence == b.test_sequence
+        assert a.detected == b.detected
+
+    def test_seeds_differ(self):
+        a = GaTestGenerator(s27(), TestGenConfig(seed=1)).run()
+        b = GaTestGenerator(s27(), TestGenConfig(seed=2)).run()
+        assert a.test_sequence != b.test_sequence
+
+    def test_phase_transitions_ordering(self, s27_result):
+        phases = [p for _, p in s27_result.phase_transitions]
+        assert phases[0] is Phase.INITIALIZATION
+        # Phase 1 must be left exactly once and never re-entered.
+        assert phases.count(Phase.INITIALIZATION) == 1
+        assert phases[-1] is Phase.SEQUENCES
+
+    def test_trace_matches_test_sequence(self, s27_result):
+        committed_frames = sum(
+            e.frames for e in s27_result.trace if e.committed
+        )
+        assert committed_frames == len(s27_result.test_sequence)
+
+    def test_counts_recorded(self, s27_result):
+        assert s27_result.ga_runs > 0
+        assert s27_result.ga_evaluations > 0
+        assert s27_result.elapsed_seconds > 0
+        assert "s27" in s27_result.summary()
+
+    def test_detections_list_consistent(self, s27_result):
+        assert len(s27_result.detections) == s27_result.detected
+
+
+class TestConfigVariants:
+    @pytest.mark.parametrize("selection", ["roulette", "sus", "tournament-r"])
+    def test_selection_schemes_run(self, selection):
+        result = GaTestGenerator(
+            mini_fsm(), TestGenConfig(seed=1, selection=selection)
+        ).run()
+        assert result.detected > 0
+
+    @pytest.mark.parametrize("crossover", ["1-point", "2-point"])
+    def test_crossover_schemes_run(self, crossover):
+        result = GaTestGenerator(
+            mini_fsm(), TestGenConfig(seed=1, crossover=crossover)
+        ).run()
+        assert result.detected > 0
+
+    def test_nonbinary_coding(self):
+        result = GaTestGenerator(
+            mini_fsm(), TestGenConfig(seed=1, coding="nonbinary")
+        ).run()
+        assert result.detected > 0
+
+    def test_fault_sampling(self):
+        result = GaTestGenerator(
+            s27(), TestGenConfig(seed=1, fault_sample=5)
+        ).run()
+        assert result.detected > 0
+
+    def test_overlapping_populations(self):
+        result = GaTestGenerator(
+            mini_fsm(),
+            TestGenConfig(seed=1, generation_gap=0.5, population_scale=1.5),
+        ).run()
+        assert result.detected > 0
+
+    def test_activity_fitness_ablation(self):
+        result = GaTestGenerator(
+            s27(), TestGenConfig(seed=1, use_activity_fitness=False)
+        ).run()
+        assert result.detected > 0
+
+    def test_max_vectors_cap(self):
+        result = GaTestGenerator(
+            resettable_counter(4), TestGenConfig(seed=1, max_vectors=6)
+        ).run()
+        assert result.vectors <= 6
+
+    def test_functional_wrapper(self):
+        result = generate_tests(s27(), TestGenConfig(seed=3))
+        assert result.circuit_name == "s27"
+
+
+class TestHardCircuits:
+    def test_uninitializable_circuit_terminates(self):
+        """Phase 1 can never complete; the stagnation escape plus the
+        progress limit must still terminate the run."""
+        result = GaTestGenerator(
+            uninitializable_loop(), TestGenConfig(seed=1, max_vectors=200)
+        ).run()
+        assert result.vectors <= 200  # terminated
+
+    def test_counter_needs_sequences(self):
+        """Most counter faults need multi-frame sequences; the sequence
+        stage must contribute detections."""
+        result = GaTestGenerator(resettable_counter(4), TestGenConfig(seed=2)).run()
+        sequence_detections = sum(
+            e.detected for e in result.trace if e.kind == "sequence"
+        )
+        vector_detections = sum(
+            e.detected for e in result.trace if e.kind == "vector"
+        )
+        assert result.detected == sequence_detections + vector_detections
+        assert result.fault_coverage > 0.7
+
+    def test_uncommitted_sequences_not_in_test_set(self):
+        result = GaTestGenerator(resettable_counter(3), TestGenConfig(seed=4)).run()
+        uncommitted = [e for e in result.trace if not e.committed]
+        for event in uncommitted:
+            assert event.kind == "sequence"
+            assert event.detected == 0

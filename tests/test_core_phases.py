@@ -1,0 +1,96 @@
+"""Tests for the Figure-2 phase state machine."""
+
+import pytest
+
+from repro.core import Phase, PhaseTracker
+
+
+def make_tracker(limit=4):
+    return PhaseTracker(progress_limit=limit)
+
+
+class TestInitialization:
+    def test_starts_in_phase1(self):
+        assert make_tracker().phase is Phase.INITIALIZATION
+
+    def test_moves_to_detection_when_all_set(self):
+        tracker = make_tracker()
+        tracker.record_vector(detected=0, ffs_set=3, all_ffs_set=True)
+        assert tracker.phase is Phase.DETECTION
+
+    def test_stays_while_progressing(self):
+        tracker = make_tracker(limit=2)
+        tracker.record_vector(detected=0, ffs_set=1, all_ffs_set=False)
+        tracker.record_vector(detected=0, ffs_set=2, all_ffs_set=False)
+        tracker.record_vector(detected=0, ffs_set=3, all_ffs_set=False)
+        assert tracker.phase is Phase.INITIALIZATION
+
+    def test_stagnation_escape(self):
+        """Uninitializable circuits must not wedge phase 1 forever."""
+        tracker = make_tracker(limit=3)
+        tracker.record_vector(detected=0, ffs_set=1, all_ffs_set=False)  # improves
+        for _ in range(2):
+            tracker.record_vector(detected=0, ffs_set=1, all_ffs_set=False)
+            assert tracker.phase is Phase.INITIALIZATION
+        tracker.record_vector(detected=0, ffs_set=1, all_ffs_set=False)
+        assert tracker.phase is Phase.DETECTION
+
+
+class TestDetectionActivity:
+    def detecting_tracker(self):
+        tracker = make_tracker(limit=3)
+        tracker.record_vector(detected=0, ffs_set=3, all_ffs_set=True)
+        return tracker
+
+    def test_noncontributing_moves_to_activity(self):
+        tracker = self.detecting_tracker()
+        tracker.record_vector(detected=0, ffs_set=3, all_ffs_set=True)
+        assert tracker.phase is Phase.ACTIVITY
+        assert tracker.noncontributing == 1
+
+    def test_detection_returns_to_phase2_and_resets(self):
+        tracker = self.detecting_tracker()
+        tracker.record_vector(detected=0, ffs_set=3, all_ffs_set=True)
+        tracker.record_vector(detected=0, ffs_set=3, all_ffs_set=True)
+        assert tracker.noncontributing == 2
+        tracker.record_vector(detected=5, ffs_set=3, all_ffs_set=True)
+        assert tracker.phase is Phase.DETECTION
+        assert tracker.noncontributing == 0
+
+    def test_exhaustion_at_progress_limit(self):
+        tracker = self.detecting_tracker()
+        for _ in range(3):
+            assert not tracker.vectors_exhausted
+            tracker.record_vector(detected=0, ffs_set=3, all_ffs_set=True)
+        assert tracker.vectors_exhausted
+
+    def test_detecting_vector_in_detection_stays(self):
+        tracker = self.detecting_tracker()
+        tracker.record_vector(detected=2, ffs_set=3, all_ffs_set=True)
+        assert tracker.phase is Phase.DETECTION
+
+
+class TestTransitions:
+    def test_transition_log(self):
+        tracker = make_tracker(limit=2)
+        tracker.record_vector(detected=0, ffs_set=3, all_ffs_set=True)   # -> 2
+        tracker.record_vector(detected=0, ffs_set=3, all_ffs_set=True)   # -> 3
+        tracker.record_vector(detected=1, ffs_set=3, all_ffs_set=True)   # -> 2
+        tracker.record_vector(detected=0, ffs_set=3, all_ffs_set=True)   # -> 3
+        tracker.record_vector(detected=0, ffs_set=3, all_ffs_set=True)   # stays 3
+        tracker.enter_sequences()
+        phases = [p for _, p in tracker.transitions]
+        assert phases == [
+            Phase.INITIALIZATION, Phase.DETECTION, Phase.ACTIVITY,
+            Phase.DETECTION, Phase.ACTIVITY, Phase.SEQUENCES,
+        ]
+
+    def test_enter_sequences_idempotent(self):
+        tracker = make_tracker()
+        tracker.enter_sequences()
+        tracker.enter_sequences()
+        assert sum(1 for _, p in tracker.transitions if p is Phase.SEQUENCES) == 1
+
+    def test_limit_validated(self):
+        with pytest.raises(ValueError):
+            PhaseTracker(progress_limit=0)

@@ -1,0 +1,65 @@
+"""Smoke tests for the per-table experiment drivers.
+
+Each driver runs end to end at minimal scale (tiny circuits, one seed)
+so regressions in the regeneration pipeline surface in the unit suite,
+not only during long benchmark runs.
+"""
+
+import pytest
+
+from repro.harness import experiments
+
+
+SMALL = dict(scale=0.1, seeds=[1], circuits=["s298"])
+
+
+def test_table_1():
+    out = experiments.table_1(1.0, [1])
+    assert "1/8" in out
+
+
+def test_table_2_driver():
+    out = experiments.table_2(**SMALL)
+    assert "Table 2 (measured" in out
+    assert "Table 2 (paper)" in out
+    assert "s298" in out
+
+
+def test_table_3_driver():
+    out = experiments.table_3(**SMALL)
+    assert "Selection-scheme summary" in out
+    assert "tournament" in out
+    assert "supplement" in out  # the vectors grid
+
+
+def test_table_4_driver():
+    out = experiments.table_4(**SMALL)
+    assert "1/256" in out
+
+
+def test_table_5_driver():
+    out = experiments.table_5(**SMALL)
+    assert "non64" in out
+
+
+def test_table_6_driver():
+    out = experiments.table_6(**SMALL)
+    assert "spdup" in out
+
+
+def test_table_7_driver():
+    out = experiments.table_7(**SMALL)
+    assert "3/4" in out
+
+
+def test_figures():
+    out1 = experiments.figure_1(0.1, [1], ["s298"])
+    assert "stage 1" in out1
+    out2 = experiments.figure_2(0.1, [1], ["s298"])
+    assert "INITIALIZATION" in out2
+
+
+def test_main_cli(capsys):
+    code = experiments.main(["--table", "1"])
+    assert code == 0
+    assert "Table 1" in capsys.readouterr().out

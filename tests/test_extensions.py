@@ -1,0 +1,316 @@
+"""Tests for the reproduction extensions: compaction, transition faults,
+island-model GA (the paper's conclusion items, DESIGN.md §5)."""
+
+import random
+
+import pytest
+
+from repro.circuit import mini_fsm, resettable_counter, s27, shift_register
+from repro.circuit.gates import X, eval_gate_scalar
+from repro.core import GaTestGenerator, TestGenConfig, compact_test_set
+from repro.core.compaction import TestSetCompactor
+from repro.faults import (
+    FaultSimulator,
+    TransitionFault,
+    TransitionFaultSimulator,
+    generate_transition_faults,
+)
+from repro.ga import BinaryCoding, GAParams, IslandGA, IslandParams
+
+from tests.conftest import random_vectors
+
+
+# ---------------------------------------------------------------------------
+# Compaction
+# ---------------------------------------------------------------------------
+
+class TestCompaction:
+    def test_preserves_coverage(self):
+        circuit = s27()
+        result = GaTestGenerator(circuit, TestGenConfig(seed=1)).run()
+        compaction = compact_test_set(circuit, result.test_sequence)
+        assert compaction.compacted_detected >= compaction.original_detected
+        fsim = FaultSimulator(circuit)
+        fsim.commit(compaction.test_sequence)
+        assert fsim.detected_count >= result.detected
+
+    def test_shrinks_padded_test_set(self):
+        """A test set padded with useless tail vectors compacts hard."""
+        circuit = s27()
+        result = GaTestGenerator(circuit, TestGenConfig(seed=1)).run()
+        padded = result.test_sequence + [[0, 0, 0, 0]] * 20
+        compaction = compact_test_set(circuit, padded)
+        assert compaction.compacted_vectors <= len(result.test_sequence)
+        assert compaction.reduction > 0.4
+
+    def test_empty_test_set(self):
+        compaction = compact_test_set(s27(), [])
+        assert compaction.original_vectors == 0
+        assert compaction.compacted_vectors == 0
+        assert compaction.reduction == 0.0
+
+    def test_useless_test_set_compacts_to_nothing(self):
+        # A single constant vector detects a few faults; repeating it 30
+        # times detects no more, so almost everything is dropped.
+        circuit = s27()
+        vectors = [[1, 1, 1, 1]] * 30
+        compaction = compact_test_set(circuit, vectors)
+        assert compaction.compacted_vectors <= 2
+        assert compaction.compacted_detected >= compaction.original_detected
+
+    def test_trials_counted(self):
+        compactor = TestSetCompactor(s27())
+        compaction = compactor.compact(random_vectors(s27(), 10, seed=1))
+        assert compaction.trials == compactor.trials > 0
+
+    def test_custom_fault_list(self):
+        circuit = s27()
+        from repro.faults import collapsed_fault_list
+
+        faults = collapsed_fault_list(circuit)[:8]
+        vectors = random_vectors(circuit, 20, seed=2)
+        compaction = compact_test_set(circuit, vectors, faults=faults)
+        fsim = FaultSimulator(circuit, faults=faults)
+        fsim.commit(compaction.test_sequence)
+        assert fsim.detected_count == compaction.compacted_detected
+
+
+# ---------------------------------------------------------------------------
+# Transition faults
+# ---------------------------------------------------------------------------
+
+def reference_transition_run(circuit, fault, vectors):
+    """Scalar conditional-stuck-at reference for one transition fault."""
+
+    def machine(active):
+        ff = {f: X for f in circuit.dffs}
+        prev_values = {n: X for n in range(circuit.num_nodes)}
+        frames = []
+        for vec in vectors:
+            good = {}
+            for j, pi in enumerate(circuit.inputs):
+                good[pi] = vec[j]
+            for f in circuit.dffs:
+                good[f] = ff["good", f] if ("good", f) in ff else ff.get(f, X)
+            # First compute the fault-free frame (excitation condition).
+            good_vals = dict(good)
+            for node in circuit.topo_order:
+                good_vals[node] = eval_gate_scalar(
+                    circuit.node_types[node],
+                    (good_vals[s] for s in circuit.fanins[node]),
+                )
+            yield_frame = good_vals
+            frames.append(yield_frame)
+            for f in circuit.dffs:
+                ff[f] = good_vals[circuit.fanins[f][0]]
+        return frames
+
+    # Fault-free trace (for excitation) — full scalar resimulation.
+    good_frames = []
+    ff = {f: X for f in circuit.dffs}
+    for vec in vectors:
+        values = {}
+        for j, pi in enumerate(circuit.inputs):
+            values[pi] = vec[j]
+        for f in circuit.dffs:
+            values[f] = ff[f]
+        for node in circuit.topo_order:
+            values[node] = eval_gate_scalar(
+                circuit.node_types[node],
+                (values[s] for s in circuit.fanins[node]),
+            )
+        good_frames.append(values)
+        for f in circuit.dffs:
+            ff[f] = values[circuit.fanins[f][0]]
+
+    # Faulty machine with per-frame conditional forcing.
+    ff = {f: X for f in circuit.dffs}
+    detected = False
+    prev = {n: X for n in range(circuit.num_nodes)}
+    for t, vec in enumerate(vectors):
+        good = good_frames[t]
+        excited = (
+            prev[fault.node] == 1 - fault.slow_to
+            and good[fault.node] == fault.slow_to
+        )
+        values = {}
+        for j, pi in enumerate(circuit.inputs):
+            values[pi] = vec[j]
+        for f in circuit.dffs:
+            values[f] = ff[f]
+        if excited and fault.node in values:
+            values[fault.node] = fault.stuck_value
+        for node in circuit.topo_order:
+            v = eval_gate_scalar(
+                circuit.node_types[node],
+                (values[s] for s in circuit.fanins[node]),
+            )
+            if excited and node == fault.node:
+                v = fault.stuck_value
+            values[node] = v
+        for po in circuit.outputs:
+            g, f_ = good[po], values[po]
+            if g != X and f_ != X and g != f_:
+                detected = True
+        for f in circuit.dffs:
+            ff[f] = values[circuit.fanins[f][0]]
+        prev = good
+    return detected
+
+
+class TestTransitionFaults:
+    def test_fault_list_size(self, s27_circuit):
+        assert len(generate_transition_faults(s27_circuit)) == 2 * s27_circuit.num_nodes
+
+    def test_describe(self, s27_circuit):
+        fault = TransitionFault(s27_circuit.id_of("G10"), 1)
+        assert fault.describe(s27_circuit) == "G10 slow-to-rise"
+
+    def test_no_transitions_no_detections(self):
+        circuit = shift_register(3)
+        sim = TransitionFaultSimulator(circuit)
+        sim.commit([[1]] * 12)
+        assert sim.detected_count == 0
+
+    def test_toggling_stream_detects_shift_register(self):
+        circuit = shift_register(3)
+        sim = TransitionFaultSimulator(circuit)
+        sim.commit([[b] for b in (0, 1) * 6])
+        assert sim.detected_count == sim.num_faults
+
+    @pytest.mark.parametrize("factory,seed", [
+        (s27, 3), (mini_fsm, 5), (lambda: resettable_counter(3), 7),
+    ])
+    def test_against_scalar_reference(self, factory, seed):
+        circuit = factory()
+        vectors = random_vectors(circuit, 20, seed=seed)
+        sim = TransitionFaultSimulator(circuit)
+        result = sim.commit(vectors)
+        parallel = {f for f, _ in result.detections}
+        reference = {
+            f for f in generate_transition_faults(circuit)
+            if reference_transition_run(circuit, f, vectors)
+        }
+        assert parallel == reference
+
+    def test_incremental_commits_track_prev_values(self):
+        """Excitation across a commit boundary must still fire."""
+        circuit = shift_register(2)
+        whole = TransitionFaultSimulator(circuit)
+        whole.commit([[0], [1], [0], [1], [0], [1]])
+        pieces = TransitionFaultSimulator(circuit)
+        for vec in [[0], [1], [0], [1], [0], [1]]:
+            pieces.commit([vec])
+        assert whole.detected_count == pieces.detected_count
+
+    def test_snapshot_restore_includes_prev_values(self):
+        circuit = shift_register(2)
+        sim = TransitionFaultSimulator(circuit)
+        sim.commit([[0]])
+        snap = sim.snapshot()
+        sim.commit([[1], [0], [1]])
+        after = sim.detected_count
+        sim.restore(snap)
+        sim.commit([[1], [0], [1]])
+        assert sim.detected_count == after
+
+    def test_evaluate_matches_commit(self):
+        circuit = mini_fsm()
+        sim = TransitionFaultSimulator(circuit)
+        vectors = random_vectors(circuit, 8, seed=9)
+        evaluation = sim.evaluate(vectors)
+        commit = sim.commit(vectors)
+        assert evaluation.detected == commit.detected_count
+
+    def test_evaluate_batch_matches_serial(self):
+        circuit = mini_fsm()
+        sim = TransitionFaultSimulator(circuit)
+        sim.commit(random_vectors(circuit, 4, seed=1))
+        candidates = [
+            random_vectors(circuit, 3, seed=s) for s in range(5)
+        ]
+        serial = [sim.evaluate(c) for c in candidates]
+        batch = sim.evaluate_batch(candidates)
+        assert serial == batch
+
+    def test_gatest_on_transition_model(self):
+        result = GaTestGenerator(
+            mini_fsm(), TestGenConfig(seed=1, fault_model="transition")
+        ).run()
+        assert result.fault_coverage > 0.5
+
+    def test_bad_fault_model_rejected(self):
+        with pytest.raises(ValueError, match="fault model"):
+            TestGenConfig(fault_model="bridging")
+
+
+# ---------------------------------------------------------------------------
+# Island-model GA
+# ---------------------------------------------------------------------------
+
+def onemax(chromosomes):
+    return [float(sum(c)) for c in chromosomes]
+
+
+class TestIslandGA:
+    def test_single_island_matches_plain_ga_interface(self):
+        coding = BinaryCoding(20)
+        params = GAParams(population_size=8, generations=6, mutation_rate=0.05)
+        result = IslandGA(
+            coding, onemax, params, IslandParams(n_islands=1),
+            rng=random.Random(0),
+        ).run()
+        assert result.generations_run == 6
+        assert result.evaluations == 8 * 7  # initial + 6 generations
+
+    def test_multi_island_evaluation_accounting(self):
+        coding = BinaryCoding(20)
+        params = GAParams(population_size=6, generations=4, mutation_rate=0.05)
+        result = IslandGA(
+            coding, onemax, params,
+            IslandParams(n_islands=3, migration_interval=2),
+            rng=random.Random(0),
+        ).run()
+        assert result.evaluations == 3 * 6 * (4 + 1)
+
+    def test_converges(self):
+        coding = BinaryCoding(30)
+        params = GAParams(population_size=8, generations=20, mutation_rate=1 / 30)
+        result = IslandGA(
+            coding, onemax, params,
+            IslandParams(n_islands=4, migration_interval=3),
+            rng=random.Random(2),
+        ).run()
+        assert result.best.fitness >= 26
+
+    def test_migration_spreads_good_genes(self):
+        """With migration, a fit individual seeded into one island must
+        lift the global best even when other islands start poor."""
+        coding = BinaryCoding(16)
+        params = GAParams(
+            population_size=4, generations=6, mutation_rate=0.0,
+            crossover_prob=0.0,
+        )
+        ga = IslandGA(
+            coding, onemax, params,
+            IslandParams(n_islands=2, migration_interval=1, migrants=1),
+            rng=random.Random(3),
+        )
+        result = ga.run()
+        assert result.best.fitness >= 8  # sanity: something decent survives
+
+    def test_params_validated(self):
+        with pytest.raises(ValueError):
+            IslandParams(n_islands=0)
+        with pytest.raises(ValueError):
+            IslandParams(migration_interval=0)
+        with pytest.raises(ValueError):
+            IslandParams(migrants=-1)
+
+    def test_gatest_with_islands(self):
+        a = GaTestGenerator(mini_fsm(), TestGenConfig(seed=1, n_islands=2)).run()
+        assert a.detected > 0
+
+    def test_islands_config_validated(self):
+        with pytest.raises(ValueError):
+            TestGenConfig(n_islands=0)

@@ -1,0 +1,323 @@
+"""Tests for the PROOFS-style parallel-fault sequential fault simulator.
+
+The key guarantee: the word-parallel machinery agrees exactly with a
+naive scalar fault-at-a-time reference on every circuit and sequence.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import mini_fsm, resettable_counter, s27, synthesize_named
+from repro.circuit.gates import X, eval_gate_scalar
+from repro.faults import (
+    STEM,
+    Fault,
+    FaultSimulator,
+    FaultStatus,
+    collapsed_fault_list,
+)
+from repro.sim import GoodState
+
+from tests.conftest import random_vectors
+from tests.test_sim import make_random_circuit
+
+
+# ---------------------------------------------------------------------------
+# Scalar fault-at-a-time reference
+# ---------------------------------------------------------------------------
+
+def reference_run(circuit, fault, vectors):
+    """Simulate good and faulty machines scalar-wise; return detection."""
+
+    def machine(active_fault):
+        ff = {f: X for f in circuit.dffs}
+        frames = []
+        for vec in vectors:
+            values = {}
+            for j, pi in enumerate(circuit.inputs):
+                values[pi] = vec[j]
+            for f in circuit.dffs:
+                values[f] = ff[f]
+            if active_fault and active_fault.pin == STEM and active_fault.node in values:
+                values[active_fault.node] = active_fault.stuck_at
+            for node in circuit.topo_order:
+                ins = []
+                for pin, src in enumerate(circuit.fanins[node]):
+                    v = values[src]
+                    if (
+                        active_fault
+                        and active_fault.node == node
+                        and active_fault.pin == pin
+                    ):
+                        v = active_fault.stuck_at
+                    ins.append(v)
+                v = eval_gate_scalar(circuit.node_types[node], ins)
+                if active_fault and active_fault.pin == STEM and active_fault.node == node:
+                    v = active_fault.stuck_at
+                values[node] = v
+            for f in circuit.dffs:
+                v = values[circuit.fanins[f][0]]
+                if active_fault and active_fault.node == f and active_fault.pin == 0:
+                    v = active_fault.stuck_at
+                ff[f] = v
+            frames.append([values[po] for po in circuit.outputs])
+        return frames
+
+    good = machine(None)
+    faulty = machine(fault)
+    return any(
+        g != X and f != X and g != f
+        for gf, ff_ in zip(good, faulty)
+        for g, f in zip(gf, ff_)
+    )
+
+
+def reference_detected_set(circuit, vectors):
+    return {
+        fault
+        for fault in collapsed_fault_list(circuit)
+        if reference_run(circuit, fault, vectors)
+    }
+
+
+# ---------------------------------------------------------------------------
+# Agreement with the reference
+# ---------------------------------------------------------------------------
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("factory,seed,n", [
+        (s27, 7, 30),
+        (mini_fsm, 3, 25),
+        (lambda: resettable_counter(3), 5, 25),
+    ])
+    def test_known_circuits(self, factory, seed, n):
+        circuit = factory()
+        vectors = random_vectors(circuit, n, seed=seed)
+        sim = FaultSimulator(circuit)
+        result = sim.commit(vectors)
+        parallel = {f for f, _ in result.detections}
+        assert parallel == reference_detected_set(circuit, vectors)
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 3000), vec_seed=st.integers(0, 100))
+    def test_random_circuits(self, seed, vec_seed):
+        circuit = make_random_circuit(seed, n_pi=3, n_ff=2, n_gates=10)
+        vectors = random_vectors(circuit, 10, seed=vec_seed)
+        sim = FaultSimulator(circuit)
+        result = sim.commit(vectors)
+        parallel = {f for f, _ in result.detections}
+        assert parallel == reference_detected_set(circuit, vectors)
+
+    @pytest.mark.parametrize("width", [1, 3, 17, 64, 200])
+    def test_word_width_invariance(self, width, s27_circuit):
+        vectors = random_vectors(s27_circuit, 20, seed=11)
+        sim = FaultSimulator(s27_circuit, word_width=width)
+        sim.commit(vectors)
+        base = FaultSimulator(s27_circuit, word_width=64)
+        base.commit(vectors)
+        assert sim.detected_count == base.detected_count
+        assert sim.undetected_faults() == base.undetected_faults()
+
+    def test_incremental_commits_match_single_commit(self, minifsm_circuit):
+        """State (good + faulty divergences) must carry across commits."""
+        vectors = random_vectors(minifsm_circuit, 24, seed=13)
+        whole = FaultSimulator(minifsm_circuit)
+        whole.commit(vectors)
+        pieces = FaultSimulator(minifsm_circuit)
+        for i in range(0, 24, 3):
+            pieces.commit(vectors[i:i + 3])
+        assert whole.detected_count == pieces.detected_count
+        assert whole.good_state.ff_values == pieces.good_state.ff_values
+        assert whole.undetected_faults() == pieces.undetected_faults()
+
+
+class TestEvaluate:
+    def test_evaluate_does_not_mutate(self, s27_circuit):
+        sim = FaultSimulator(s27_circuit)
+        sim.commit(random_vectors(s27_circuit, 5, seed=1))
+        before = sim.snapshot()
+        sim.evaluate(random_vectors(s27_circuit, 6, seed=2))
+        after = sim.snapshot()
+        assert before.good_state.ff_values == after.good_state.ff_values
+        assert before.divergence == after.divergence
+        assert before.active == after.active
+
+    def test_evaluate_matches_commit_detection_count(self, minifsm_circuit):
+        vectors = random_vectors(minifsm_circuit, 8, seed=3)
+        sim = FaultSimulator(minifsm_circuit)
+        eval_result = sim.evaluate(vectors)
+        commit_result = sim.commit(vectors)
+        assert eval_result.detected == commit_result.detected_count
+
+    def test_sample_restricts_simulation(self, s27_circuit):
+        sim = FaultSimulator(s27_circuit)
+        sample = sim.active[:5]
+        result = sim.evaluate(random_vectors(s27_circuit, 10, seed=4), sample=sample)
+        assert result.num_faults_simulated == 5
+        assert result.detected <= 5
+
+    def test_empty_sample_good_machine_only(self, counter3_circuit):
+        sim = FaultSimulator(counter3_circuit)
+        result = sim.evaluate([[1, 0]], sample=[])
+        assert result.detected == 0
+        assert result.ffs_set == 3  # reset initializes all FFs
+
+    def test_ffs_changed_reported(self, counter3_circuit):
+        sim = FaultSimulator(counter3_circuit)
+        sim.commit([[1, 0]])  # reset -> 000
+        result = sim.evaluate([[0, 1]], sample=[])
+        assert result.ffs_changed == 1  # bit 0 toggles
+
+    def test_faulty_events_counted_when_requested(self, s27_circuit):
+        sim = FaultSimulator(s27_circuit)
+        with_events = sim.evaluate(
+            random_vectors(s27_circuit, 3, seed=5), count_faulty_events=True
+        )
+        without = sim.evaluate(
+            random_vectors(s27_circuit, 3, seed=5), count_faulty_events=False
+        )
+        assert with_events.faulty_events > 0
+        assert without.faulty_events == 0
+        assert with_events.detected == without.detected
+
+    def test_prop_counts_monotone_with_frames(self, minifsm_circuit):
+        sim = FaultSimulator(minifsm_circuit)
+        result = sim.evaluate(random_vectors(minifsm_circuit, 6, seed=6))
+        assert result.prop_sum >= result.prop_final
+        assert result.frames == 6
+
+
+class TestEvaluateBatch:
+    """The wide-word batch evaluator must equal the serial path exactly."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 2000),
+        n_cand=st.integers(1, 6),
+        frames=st.integers(1, 4),
+        events=st.booleans(),
+    )
+    def test_batch_equals_serial(self, seed, n_cand, frames, events):
+        circuit = make_random_circuit(seed, n_pi=3, n_ff=2, n_gates=10)
+        sim = FaultSimulator(circuit)
+        sim.commit(random_vectors(circuit, 4, seed=seed))  # create divergences
+        rng = random.Random(seed)
+        candidates = [
+            [
+                [rng.randint(0, 1) for _ in range(circuit.num_inputs)]
+                for _ in range(frames)
+            ]
+            for _ in range(n_cand)
+        ]
+        serial = [
+            sim.evaluate(c, count_faulty_events=events) for c in candidates
+        ]
+        batch = sim.evaluate_batch(candidates, count_faulty_events=events)
+        assert serial == batch
+
+    def test_batch_with_sample(self, s27_circuit):
+        sim = FaultSimulator(s27_circuit)
+        sample = sim.active[:7]
+        candidates = [[v] for v in random_vectors(s27_circuit, 8, seed=3)]
+        serial = [sim.evaluate(c, sample=sample) for c in candidates]
+        batch = sim.evaluate_batch(candidates, sample=sample)
+        assert serial == batch
+
+    def test_batch_empty_cases(self, s27_circuit):
+        sim = FaultSimulator(s27_circuit)
+        assert sim.evaluate_batch([]) == []
+        result = sim.evaluate_batch([[[0, 0, 0, 0]]], sample=[])
+        assert result[0].detected == 0
+
+    def test_batch_frame_count_checked(self, s27_circuit):
+        sim = FaultSimulator(s27_circuit)
+        with pytest.raises(ValueError, match="same frame count"):
+            sim.evaluate_batch([
+                [[0, 0, 0, 0]],
+                [[0, 0, 0, 0], [1, 1, 1, 1]],
+            ])
+
+    def test_batch_does_not_mutate(self, minifsm_circuit):
+        sim = FaultSimulator(minifsm_circuit)
+        sim.commit(random_vectors(minifsm_circuit, 3, seed=1))
+        before = sim.snapshot()
+        sim.evaluate_batch([
+            random_vectors(minifsm_circuit, 2, seed=s) for s in range(4)
+        ])
+        after = sim.snapshot()
+        assert before.good_state.ff_values == after.good_state.ff_values
+        assert before.divergence == after.divergence
+
+
+class TestStateManagement:
+    def test_snapshot_restore_round_trip(self, minifsm_circuit):
+        sim = FaultSimulator(minifsm_circuit)
+        sim.commit(random_vectors(minifsm_circuit, 6, seed=7))
+        snap = sim.snapshot()
+        detected_before = sim.detected_count
+        sim.commit(random_vectors(minifsm_circuit, 12, seed=8))
+        sim.restore(snap)
+        assert sim.detected_count == detected_before
+        # After restore, continuing must be equivalent to never diverging.
+        replay = random_vectors(minifsm_circuit, 4, seed=9)
+        a = sim.evaluate(replay)
+        sim.restore(snap)
+        b = sim.evaluate(replay)
+        assert a.detected == b.detected
+
+    def test_restore_is_deep(self, s27_circuit):
+        sim = FaultSimulator(s27_circuit)
+        sim.commit(random_vectors(s27_circuit, 4, seed=10))
+        snap = sim.snapshot()
+        snap_divergence = {f: dict(d) for f, d in snap.divergence.items()}
+        sim.commit(random_vectors(s27_circuit, 8, seed=11))
+        assert snap.divergence == snap_divergence  # snapshot untouched
+
+    def test_reset(self, s27_circuit):
+        sim = FaultSimulator(s27_circuit)
+        sim.commit(random_vectors(s27_circuit, 10, seed=12))
+        sim.reset()
+        assert sim.detected_count == 0
+        assert sim.good_state.ff_values == [X, X, X]
+        assert sim.divergence == {}
+        assert sim.vectors_applied == 0
+
+    def test_detected_faults_dropped(self, s27_circuit):
+        sim = FaultSimulator(s27_circuit)
+        result = sim.commit(random_vectors(s27_circuit, 15, seed=13))
+        for fault_id in range(len(sim.faults)):
+            if sim.status[fault_id] is FaultStatus.DETECTED:
+                assert fault_id not in sim.active
+                assert fault_id not in sim.divergence
+
+    def test_vectors_applied_tracked(self, s27_circuit):
+        sim = FaultSimulator(s27_circuit)
+        sim.commit(random_vectors(s27_circuit, 5, seed=1))
+        sim.commit(random_vectors(s27_circuit, 7, seed=2))
+        assert sim.vectors_applied == 12
+
+    def test_coverage_properties(self, s27_circuit):
+        sim = FaultSimulator(s27_circuit)
+        assert sim.fault_coverage == 0.0
+        sim.commit(random_vectors(s27_circuit, 30, seed=14))
+        assert 0.0 < sim.fault_coverage <= 1.0
+        assert sim.detected_count + len(sim.active) == sim.num_faults
+
+
+class TestConstruction:
+    def test_custom_fault_list(self, s27_circuit):
+        faults = collapsed_fault_list(s27_circuit)[:4]
+        sim = FaultSimulator(s27_circuit, faults=faults)
+        assert sim.num_faults == 4
+
+    def test_bad_word_width(self, s27_circuit):
+        with pytest.raises(ValueError):
+            FaultSimulator(s27_circuit, word_width=0)
+
+    def test_synthetic_circuit_smoke(self):
+        circuit = synthesize_named("s386", scale=0.2)
+        sim = FaultSimulator(circuit)
+        sim.commit(random_vectors(circuit, 50, seed=15))
+        assert sim.detected_count > 0

@@ -1,0 +1,172 @@
+"""Tests for fault-list generation and collapsing."""
+
+import pytest
+
+from repro.circuit import Circuit, GateType, c17, s27
+from repro.faults import (
+    STEM,
+    Fault,
+    collapse_faults,
+    collapsed_fault_list,
+    fault_universe_size,
+    generate_faults,
+)
+
+
+class TestGeneration:
+    def test_stem_faults_on_every_node(self, s27_circuit):
+        faults = generate_faults(s27_circuit)
+        stems = {(f.node, f.stuck_at) for f in faults if f.pin == STEM}
+        assert len(stems) == 2 * s27_circuit.num_nodes
+
+    def test_branch_faults_only_on_fanout_stems(self, s27_circuit):
+        pos = set(s27_circuit.outputs)
+        for fault in generate_faults(s27_circuit):
+            if fault.pin == STEM:
+                continue
+            driver = s27_circuit.fanins[fault.node][fault.pin]
+            assert len(s27_circuit.fanouts[driver]) > 1 or driver in pos
+
+    def test_po_tap_creates_branch_fault(self):
+        # A PO that also drives a gate: the net has two observation
+        # points, so the gate pin gets its own branch fault.
+        from repro.circuit import Circuit, GateType
+
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate("g", GateType.NOT, ["a"])
+        c.add_gate("h", GateType.NOT, ["g"])
+        c.mark_output("g")   # observed directly...
+        c.mark_output("h")   # ...and through h
+        c.finalize()
+        faults = generate_faults(c)
+        assert Fault(c.id_of("h"), 0, 0) in faults
+
+    def test_no_branches_mode(self, s27_circuit):
+        faults = generate_faults(s27_circuit, include_branches=False)
+        assert all(f.pin == STEM for f in faults)
+
+    def test_deterministic_order(self, s27_circuit):
+        assert generate_faults(s27_circuit) == generate_faults(s27_circuit)
+
+    def test_universe_size(self, c17_circuit):
+        # c17: 11 nodes -> 22 stem faults; branch faults on pins fed by
+        # multi-fanout nets (3, 11, 16 each fan out twice -> 6 pins -> 12).
+        assert fault_universe_size(c17_circuit) == 22 + 12
+
+    def test_describe(self, s27_circuit):
+        fault = Fault(s27_circuit.id_of("G10"), STEM, 0)
+        assert fault.describe(s27_circuit) == "G10 s-a-0"
+        fault = Fault(s27_circuit.id_of("G10"), 1, 1)
+        assert fault.describe(s27_circuit) == "G10.in1 s-a-1"
+
+
+class TestCollapse:
+    def test_every_fault_mapped(self, s27_circuit):
+        faults = generate_faults(s27_circuit)
+        collapsed = collapse_faults(s27_circuit)
+        assert set(collapsed.class_of) == set(faults)
+        for fault, rep in collapsed.class_of.items():
+            assert rep in set(collapsed.representatives)
+
+    def test_members_partition(self, s27_circuit):
+        collapsed = collapse_faults(s27_circuit)
+        all_members = [f for rep in collapsed.representatives for f in collapsed.expand(rep)]
+        assert sorted(all_members) == sorted(generate_faults(s27_circuit))
+
+    def test_representative_is_class_member(self, c17_circuit):
+        collapsed = collapse_faults(c17_circuit)
+        for rep in collapsed.representatives:
+            assert collapsed.class_of[rep] == rep
+            assert rep in collapsed.expand(rep)
+
+    def test_and_gate_rule(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("g", GateType.AND, ["a", "b"])
+        c.mark_output("g")
+        c.finalize()
+        collapsed = collapse_faults(c)
+        # a s-a-0 == b s-a-0 == g s-a-0 (single-load nets: stem faults).
+        rep_a = collapsed.class_of[Fault(c.id_of("a"), STEM, 0)]
+        rep_b = collapsed.class_of[Fault(c.id_of("b"), STEM, 0)]
+        rep_g = collapsed.class_of[Fault(c.id_of("g"), STEM, 0)]
+        assert rep_a == rep_b == rep_g
+        # but s-a-1 faults stay distinct.
+        assert (
+            collapsed.class_of[Fault(c.id_of("a"), STEM, 1)]
+            != collapsed.class_of[Fault(c.id_of("b"), STEM, 1)]
+        )
+
+    def test_nand_inverts_output_value(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("g", GateType.NAND, ["a", "b"])
+        c.mark_output("g")
+        c.finalize()
+        collapsed = collapse_faults(c)
+        assert (
+            collapsed.class_of[Fault(c.id_of("a"), STEM, 0)]
+            == collapsed.class_of[Fault(c.id_of("g"), STEM, 1)]
+        )
+
+    def test_inverter_chain_collapses_through(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate("n1", GateType.NOT, ["a"])
+        c.add_gate("n2", GateType.NOT, ["n1"])
+        c.mark_output("n2")
+        c.finalize()
+        collapsed = collapse_faults(c)
+        # a s-a-0 == n1 s-a-1 == n2 s-a-0: one class end to end.
+        assert (
+            collapsed.class_of[Fault(c.id_of("a"), STEM, 0)]
+            == collapsed.class_of[Fault(c.id_of("n1"), STEM, 1)]
+            == collapsed.class_of[Fault(c.id_of("n2"), STEM, 0)]
+        )
+        assert len(collapsed) == 2  # exactly two classes remain
+
+    def test_dff_transparent(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_dff("q", "a")
+        c.add_gate("o", GateType.BUFF, ["q"])
+        c.mark_output("o")
+        c.finalize()
+        collapsed = collapse_faults(c)
+        assert (
+            collapsed.class_of[Fault(c.id_of("a"), STEM, 1)]
+            == collapsed.class_of[Fault(c.id_of("q"), STEM, 1)]
+        )
+
+    def test_xor_not_collapsed(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("g", GateType.XOR, ["a", "b"])
+        c.mark_output("g")
+        c.finalize()
+        collapsed = collapse_faults(c)
+        assert len(collapsed) == 6  # nothing merges across an XOR
+
+    def test_branch_faults_collapse_with_gate_output(self, c17_circuit):
+        # Net 11 feeds gates 16 and 19 (fanout 2): the branch s-a-0 on
+        # 16's pin collapses with 16's output s-a-1 (NAND rule).
+        c = c17_circuit
+        collapsed = collapse_faults(c)
+        g16 = c.id_of("16")
+        pin_of_11 = list(c.fanins[g16]).index(c.id_of("11"))
+        assert (
+            collapsed.class_of[Fault(g16, pin_of_11, 0)]
+            == collapsed.class_of[Fault(g16, STEM, 1)]
+        )
+
+    def test_collapsed_smaller_than_universe(self, s27_circuit):
+        assert len(collapsed_fault_list(s27_circuit)) < fault_universe_size(s27_circuit)
+
+    def test_custom_fault_subset(self, s27_circuit):
+        subset = generate_faults(s27_circuit)[:10]
+        collapsed = collapse_faults(s27_circuit, subset)
+        assert set(collapsed.class_of) == set(subset)

@@ -1,0 +1,416 @@
+"""Tests for the GA engine: codings, operators, selection, evolution."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ga import (
+    BinaryCoding,
+    GAParams,
+    GAResult,
+    GeneticAlgorithm,
+    Individual,
+    Mutation,
+    NonbinaryCoding,
+    OnePoint,
+    Population,
+    TwoPoint,
+    Uniform,
+    make_coding,
+    make_crossover,
+    make_selection,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+# ---------------------------------------------------------------------------
+# Codings
+# ---------------------------------------------------------------------------
+
+class TestBinaryCoding:
+    def test_length(self):
+        assert BinaryCoding(5, 3).length == 15
+
+    def test_random_in_alphabet(self, rng):
+        chrom = BinaryCoding(8, 2).random(rng)
+        assert len(chrom) == 16
+        assert set(chrom) <= {0, 1}
+
+    def test_decode_splits_frames(self):
+        coding = BinaryCoding(3, 2)
+        assert coding.decode([1, 0, 1, 0, 1, 1]) == [[1, 0, 1], [0, 1, 1]]
+
+    def test_decode_length_checked(self):
+        with pytest.raises(ValueError):
+            BinaryCoding(3, 2).decode([0, 1])
+
+    def test_mutate_gene_flips(self, rng):
+        coding = BinaryCoding(4)
+        assert coding.mutate_gene(0, rng) == 1
+        assert coding.mutate_gene(1, rng) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BinaryCoding(0)
+
+
+class TestNonbinaryCoding:
+    def test_length_is_frames(self):
+        assert NonbinaryCoding(5, 3).length == 3
+
+    def test_random_in_alphabet(self, rng):
+        coding = NonbinaryCoding(4, 6)
+        chrom = coding.random(rng)
+        assert len(chrom) == 6
+        assert all(0 <= g < 16 for g in chrom)
+
+    def test_decode_bits(self):
+        coding = NonbinaryCoding(4, 2)
+        assert coding.decode([0b1010, 0b0001]) == [[0, 1, 0, 1], [1, 0, 0, 0]]
+
+    def test_mutate_gene_replaces_vector(self):
+        coding = NonbinaryCoding(16, 1)
+        rng = random.Random(5)
+        gene = coding.mutate_gene(12345, rng)
+        assert 0 <= gene < 2 ** 16
+
+    def test_phenotypes_agree_with_binary(self, rng):
+        """Both codings must decode to the same phenotype space."""
+        binary = BinaryCoding(4, 3)
+        nonbinary = NonbinaryCoding(4, 3)
+        chrom_b = binary.random(rng)
+        pheno = binary.decode(chrom_b)
+        chrom_n = [sum(bit << j for j, bit in enumerate(vec)) for vec in pheno]
+        assert nonbinary.decode(chrom_n) == pheno
+
+    def test_make_coding(self):
+        assert isinstance(make_coding("binary", 4, 2), BinaryCoding)
+        assert isinstance(make_coding("nonbinary", 4, 2), NonbinaryCoding)
+        with pytest.raises(ValueError):
+            make_coding("ternary", 4)
+
+
+# ---------------------------------------------------------------------------
+# Crossover
+# ---------------------------------------------------------------------------
+
+class TestCrossover:
+    @pytest.mark.parametrize("op", [OnePoint(), TwoPoint(), Uniform()])
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_gene_conservation(self, op, data):
+        """At every position, children hold a permutation of parent genes."""
+        length = data.draw(st.integers(2, 20))
+        a = data.draw(st.lists(st.integers(0, 9), min_size=length, max_size=length))
+        b = data.draw(st.lists(st.integers(0, 9), min_size=length, max_size=length))
+        rng = random.Random(data.draw(st.integers(0, 999)))
+        child_a, child_b = op.cross(a, b, rng)
+        for i in range(length):
+            assert Counter([child_a[i], child_b[i]]) == Counter([a[i], b[i]])
+
+    def test_one_point_contiguity(self):
+        a, b = [0] * 10, [1] * 10
+        rng = random.Random(3)
+        child_a, child_b = OnePoint().cross(a, b, rng)
+        # Exactly one transition in each child.
+        changes = sum(
+            1 for i in range(9) if child_a[i] != child_a[i + 1]
+        )
+        assert changes == 1
+        assert child_a != a and child_b != b
+
+    def test_two_point_segment(self):
+        a, b = [0] * 12, [1] * 12
+        rng = random.Random(4)
+        child_a, _ = TwoPoint().cross(a, b, rng)
+        changes = sum(1 for i in range(11) if child_a[i] != child_a[i + 1])
+        assert changes in (0, 1, 2)
+
+    def test_uniform_swap_prob_one_swaps_everything(self):
+        a, b = [0] * 8, [1] * 8
+        child_a, child_b = Uniform(swap_prob=1.0).cross(a, b, random.Random(0))
+        assert child_a == b and child_b == a
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            OnePoint().cross([0, 1], [0], random.Random(0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Uniform().cross([], [], random.Random(0))
+
+    def test_length_one_degenerates(self):
+        for op in (OnePoint(), TwoPoint()):
+            assert op.cross([5], [7], random.Random(0)) == ([5], [7])
+
+    def test_make_crossover(self):
+        assert isinstance(make_crossover("uniform"), Uniform)
+        with pytest.raises(ValueError):
+            make_crossover("3-point")
+
+
+# ---------------------------------------------------------------------------
+# Mutation
+# ---------------------------------------------------------------------------
+
+class TestMutation:
+    def test_rate_zero_identity(self, rng):
+        coding = BinaryCoding(20)
+        chrom = coding.random(rng)
+        assert Mutation(0.0).mutate(chrom, coding, rng) == chrom
+
+    def test_rate_one_flips_all_binary(self, rng):
+        coding = BinaryCoding(20)
+        chrom = coding.random(rng)
+        mutated = Mutation(1.0).mutate(chrom, coding, rng)
+        assert all(m == 1 - c for m, c in zip(mutated, chrom))
+
+    def test_input_not_modified(self, rng):
+        coding = BinaryCoding(10)
+        chrom = [0] * 10
+        Mutation(1.0).mutate(chrom, coding, rng)
+        assert chrom == [0] * 10
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            Mutation(1.5)
+
+    def test_expected_rate_statistics(self):
+        coding = BinaryCoding(1000)
+        rng = random.Random(1)
+        chrom = [0] * 1000
+        mutated = Mutation(1 / 16).mutate(chrom, coding, rng)
+        flips = sum(mutated)
+        assert 30 <= flips <= 100  # E = 62.5
+
+
+# ---------------------------------------------------------------------------
+# Selection
+# ---------------------------------------------------------------------------
+
+class TestSelection:
+    FITNESSES = [1.0, 2.0, 4.0, 8.0]
+
+    @pytest.mark.parametrize("name", ["roulette", "sus", "tournament", "tournament-r"])
+    def test_biased_toward_fit(self, name):
+        scheme = make_selection(name)
+        rng = random.Random(7)
+        picks = scheme.select(self.FITNESSES, 4000, rng)
+        counts = Counter(picks)
+        assert counts[3] > counts[0]  # fittest picked more than least fit
+
+    def test_sus_low_noise(self):
+        """SUS expectation: copies within one of N * f_i / sum."""
+        scheme = make_selection("sus")
+        rng = random.Random(3)
+        picks = scheme.select(self.FITNESSES, 60, rng)
+        counts = Counter(picks)
+        total = sum(self.FITNESSES)
+        for i, f in enumerate(self.FITNESSES):
+            expected = 60 * f / total
+            assert abs(counts[i] - expected) <= 1
+
+    def test_tournament_without_replacement_worst_never_wins_round(self):
+        scheme = make_selection("tournament")
+        rng = random.Random(5)
+        # One full traversal = 2 picks from 4 individuals: the worst
+        # individual (index 0) can never win its tournament.
+        picks = scheme.select(self.FITNESSES, 2, rng)
+        assert 0 not in picks
+
+    @pytest.mark.parametrize("name", ["roulette", "sus", "tournament", "tournament-r"])
+    def test_zero_fitness_fallback(self, name):
+        scheme = make_selection(name)
+        picks = scheme.select([0.0, 0.0, 0.0], 30, random.Random(1))
+        assert len(picks) == 30
+        assert set(picks) <= {0, 1, 2}
+
+    @pytest.mark.parametrize("name", ["roulette", "sus"])
+    def test_negative_fitness_rejected(self, name):
+        with pytest.raises(ValueError):
+            make_selection(name).select([1.0, -1.0], 2, random.Random(0))
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            make_selection("tournament").select([], 1, random.Random(0))
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            make_selection("lottery")
+
+    @pytest.mark.parametrize("name", ["roulette", "sus", "tournament", "tournament-r"])
+    def test_deterministic_given_rng(self, name):
+        scheme = make_selection(name)
+        a = scheme.select(self.FITNESSES, 10, random.Random(42))
+        b = scheme.select(self.FITNESSES, 10, random.Random(42))
+        assert a == b
+
+
+# ---------------------------------------------------------------------------
+# Population
+# ---------------------------------------------------------------------------
+
+class TestPopulation:
+    def make(self):
+        return Population([Individual([i], float(i)) for i in range(5)])
+
+    def test_best(self):
+        assert self.make().best().fitness == 4.0
+
+    def test_worst_indices(self):
+        assert self.make().worst_indices(2) == [0, 1]
+
+    def test_replace_worst(self):
+        pop = self.make()
+        pop.replace_worst([Individual([9], 9.0), Individual([8], 8.0)])
+        assert sorted(pop.fitnesses) == [2.0, 3.0, 4.0, 8.0, 9.0]
+
+    def test_replace_all_size_checked(self):
+        with pytest.raises(ValueError):
+            self.make().replace_all([Individual([0], 0.0)])
+
+    def test_replace_worst_overflow_checked(self):
+        pop = self.make()
+        with pytest.raises(ValueError):
+            pop.replace_worst([Individual([0], 0.0)] * 6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Population([])
+
+    def test_mean(self):
+        assert self.make().mean_fitness() == 2.0
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+def onemax(chromosomes):
+    return [float(sum(c)) for c in chromosomes]
+
+
+class TestEngine:
+    def test_converges_on_onemax(self):
+        coding = BinaryCoding(30)
+        ga = GeneticAlgorithm(
+            coding, onemax,
+            GAParams(population_size=16, generations=25, mutation_rate=1 / 30),
+            rng=random.Random(0),
+        )
+        result = ga.run()
+        assert result.best.fitness >= 27
+
+    def test_evaluation_accounting_nonoverlapping(self):
+        coding = BinaryCoding(10)
+        params = GAParams(population_size=8, generations=5, mutation_rate=0.1)
+        ga = GeneticAlgorithm(coding, onemax, params, rng=random.Random(1))
+        result = ga.run()
+        assert result.evaluations == 8 * (5 + 1)
+
+    def test_evaluation_accounting_overlapping(self):
+        coding = BinaryCoding(10)
+        params = GAParams(
+            population_size=16, generations=5, mutation_rate=0.1, generation_gap=0.25
+        )
+        ga = GeneticAlgorithm(coding, onemax, params, rng=random.Random(1))
+        result = ga.run()
+        assert params.offspring_per_generation == 4
+        assert result.evaluations == 16 + 5 * 4
+
+    def test_best_ever_never_decreases(self):
+        coding = BinaryCoding(20)
+        history_best = []
+
+        def spy(gen, pop):
+            history_best.append(pop.best().fitness)
+
+        ga = GeneticAlgorithm(
+            coding, onemax,
+            GAParams(population_size=8, generations=10, mutation_rate=0.2),
+            rng=random.Random(2),
+        )
+        result = ga.run(on_generation=spy)
+        assert result.best.fitness >= max(history_best) - 1e-9
+        assert len(result.history) == 11
+
+    def test_offspring_even(self):
+        params = GAParams(population_size=9, generations=1, generation_gap=0.33)
+        assert params.offspring_per_generation % 2 == 0
+
+    def test_initial_population_supplied(self):
+        coding = BinaryCoding(4)
+        initial = [[1, 1, 1, 1]] * 6
+        ga = GeneticAlgorithm(
+            coding, onemax,
+            GAParams(population_size=6, generations=1, mutation_rate=0.0),
+            rng=random.Random(0), initial=initial,
+        )
+        result = ga.run()
+        assert result.best.fitness == 4.0
+        assert result.best_generation == 0
+
+    def test_initial_population_size_checked(self):
+        coding = BinaryCoding(4)
+        with pytest.raises(ValueError, match="initial population"):
+            GeneticAlgorithm(
+                coding, onemax,
+                GAParams(population_size=6, generations=1),
+                initial=[[0, 0, 0, 0]],
+            ).run()
+
+    def test_evaluator_mismatch_detected(self):
+        coding = BinaryCoding(4)
+        ga = GeneticAlgorithm(
+            coding, lambda chroms: [1.0],
+            GAParams(population_size=4, generations=1),
+            rng=random.Random(0),
+        )
+        with pytest.raises(ValueError, match="evaluator returned"):
+            ga.run()
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            GAParams(population_size=1)
+        with pytest.raises(ValueError):
+            GAParams(population_size=4, generations=0)
+        with pytest.raises(ValueError):
+            GAParams(population_size=4, generation_gap=0.0)
+        with pytest.raises(ValueError):
+            GAParams(population_size=4, crossover_prob=2.0)
+
+    def test_crossover_prob_zero_clones_parents(self):
+        coding = BinaryCoding(12)
+        params = GAParams(
+            population_size=4, generations=3, mutation_rate=0.0, crossover_prob=0.0
+        )
+        ga = GeneticAlgorithm(coding, onemax, params, rng=random.Random(3))
+        result = ga.run()
+        # With no crossover and no mutation, genes never change: best is
+        # the best of the initial random population.
+        assert result.best_generation == 0
+
+    def test_scheme_ordering_on_onemax(self):
+        """The paper's headline GA finding, reproduced on onemax:
+        tournament selection beats proportionate selection."""
+        coding = BinaryCoding(40)
+
+        def mean_best(selection):
+            scores = []
+            for seed in range(5):
+                ga = GeneticAlgorithm(
+                    coding, onemax,
+                    GAParams(population_size=16, generations=15,
+                             selection=selection, mutation_rate=1 / 40),
+                    rng=random.Random(seed),
+                )
+                scores.append(ga.run().best.fitness)
+            return sum(scores) / len(scores)
+
+        assert mean_best("tournament") > mean_best("roulette")

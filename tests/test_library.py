@@ -1,0 +1,131 @@
+"""Behavioral tests for the bundled parametric circuits."""
+
+import pytest
+
+from repro.circuit import (
+    build_builtin,
+    list_builtin,
+    mini_fsm,
+    parity_tracker,
+    resettable_counter,
+    shift_register,
+    uninitializable_loop,
+)
+from repro.circuit.gates import X
+from repro.sim import GoodState, SerialSimulator
+
+
+class TestShiftRegister:
+    def test_depth_equals_stages(self):
+        for n in (1, 3, 6):
+            assert shift_register(n).sequential_depth() == n
+
+    def test_shifts_data(self):
+        c = shift_register(3)
+        sim = SerialSimulator(c)
+        # Push 1,0,1,0... and observe it emerge 3 cycles later.
+        stream = [1, 0, 1, 1, 0, 0, 1]
+        trace = sim.run_sequence([[b] for b in stream])
+        # Output at time t is input at time t-3 (X before that).
+        for t, po in enumerate(trace):
+            expect = stream[t - 3] if t >= 3 else X
+            assert po[0] == expect
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ValueError):
+            shift_register(0)
+
+
+class TestCounter:
+    def test_reset_initializes(self):
+        c = resettable_counter(3)
+        sim = SerialSimulator(c)
+        sim.begin(None)
+        sim.step([[1, 0]])  # rst=1, en=0
+        assert sim.state.ff_values == [0, 0, 0]
+
+    def test_counts_up(self):
+        c = resettable_counter(3)
+        sim = SerialSimulator(c)
+        sim.begin(None)
+        sim.step([[1, 0]])  # reset
+        for expected in [1, 2, 3, 4, 5, 6, 7, 0, 1]:
+            sim.step([[0, 1]])  # count
+            bits = sim.state.ff_values
+            assert sum(b << i for i, b in enumerate(bits)) == expected
+
+    def test_hold_when_disabled(self):
+        c = resettable_counter(2)
+        sim = SerialSimulator(c)
+        sim.begin(None)
+        sim.step([[1, 0]])
+        sim.step([[0, 1]])
+        state = sim.state.ff_values
+        sim.step([[0, 0]])  # enable off: hold
+        assert sim.state.ff_values == state
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            resettable_counter(0)
+
+
+class TestParityTracker:
+    def test_stays_unknown_without_clear(self):
+        c = parity_tracker()
+        sim = SerialSimulator(c)
+        sim.begin(None)
+        for _ in range(10):
+            sim.step([[1, 0]])  # din=1, clr=0
+        assert sim.state.ff_values == [X]
+
+    def test_clear_then_tracks_parity(self):
+        c = parity_tracker()
+        sim = SerialSimulator(c)
+        sim.begin(None)
+        sim.step([[0, 1]])  # clear
+        assert sim.state.ff_values == [0]
+        parity = 0
+        for bit in [1, 1, 0, 1, 0, 0, 1]:
+            sim.step([[bit, 0]])
+            parity ^= bit
+            assert sim.state.ff_values == [parity]
+
+
+class TestUninitializableLoop:
+    def test_never_initializes(self):
+        c = uninitializable_loop()
+        sim = SerialSimulator(c)
+        sim.begin(None)
+        for bit in [0, 1, 1, 0, 1, 0, 0, 1, 1, 1]:
+            sim.step([[bit]])
+        assert sim.state.ff_values == [X]
+
+
+class TestMiniFsm:
+    def test_walks_states(self):
+        c = mini_fsm()
+        sim = SerialSimulator(c)
+        sim.begin(None)
+        sim.step([[1, 0]])  # reset
+        assert sim.state.ff_values == [0, 0]
+        # Walk: 1, 2, 3 (s0 is bit 0, s1 is bit 1).
+        seen = []
+        for _ in range(3):
+            sim.step([[0, 1]])
+            s = sim.state.ff_values
+            seen.append(s[0] + 2 * s[1])
+        assert seen == [1, 2, 3]
+        # In state 3, output asserts.
+        sim.step([[0, 0]])
+        assert sim.po_values(0) == [1]
+
+
+class TestRegistry:
+    def test_all_builtins_build(self):
+        for name in list_builtin():
+            circuit = build_builtin(name)
+            assert circuit.num_nodes > 0
+
+    def test_unknown_builtin_raises(self):
+        with pytest.raises(KeyError, match="unknown builtin"):
+            build_builtin("nope")

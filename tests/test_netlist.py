@@ -1,0 +1,186 @@
+"""Tests for the netlist model: building, finalization, derived structure."""
+
+import pytest
+
+from repro.circuit import Circuit, CircuitError, GateType, shift_register
+
+
+def build_simple():
+    c = Circuit("t")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g1", GateType.AND, ["a", "b"])
+    c.mark_output("g1")
+    return c.finalize()
+
+
+class TestBuilder:
+    def test_basic_counts(self):
+        c = build_simple()
+        assert c.num_inputs == 2
+        assert c.num_outputs == 1
+        assert c.num_gates == 1
+        assert c.num_dffs == 0
+        assert c.num_nodes == 3
+
+    def test_forward_reference_resolved(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.mark_output("g")           # forward reference
+        c.add_gate("g", GateType.NOT, ["a"])
+        c.finalize()
+        assert c.node_types[c.id_of("g")] is GateType.NOT
+
+    def test_unresolved_reference_rejected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate("g", GateType.AND, ["a", "phantom"])
+        c.mark_output("g")
+        with pytest.raises(CircuitError, match="phantom"):
+            c.finalize()
+
+    def test_double_definition_rejected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate("g", GateType.NOT, ["a"])
+        with pytest.raises(CircuitError, match="twice"):
+            c.add_gate("g", GateType.NOT, ["a"])
+
+    def test_not_gate_arity_enforced(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_input("b")
+        with pytest.raises(CircuitError, match="exactly one"):
+            c.add_gate("g", GateType.NOT, ["a", "b"])
+
+    def test_gate_without_fanins_rejected(self):
+        c = Circuit("t")
+        with pytest.raises(CircuitError, match="no fanins"):
+            c.add_gate("g", GateType.AND, [])
+
+    def test_add_gate_rejects_sequential_types(self):
+        c = Circuit("t")
+        c.add_input("a")
+        with pytest.raises(CircuitError, match="add_input/add_dff"):
+            c.add_gate("g", GateType.DFF, ["a"])
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(CircuitError, match="no primary inputs"):
+            Circuit("t").finalize()
+
+    def test_frozen_after_finalize(self):
+        c = build_simple()
+        with pytest.raises(CircuitError, match="finalized"):
+            c.add_input("late")
+
+    def test_finalize_idempotent(self):
+        c = build_simple()
+        assert c.finalize() is c
+
+
+class TestDerivedStructure:
+    def test_fanouts(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate("g1", GateType.NOT, ["a"])
+        c.add_gate("g2", GateType.NOT, ["a"])
+        c.mark_output("g1")
+        c.mark_output("g2")
+        c.finalize()
+        assert set(c.fanouts[c.id_of("a")]) == {c.id_of("g1"), c.id_of("g2")}
+
+    def test_levels_and_topo_order(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate("g1", GateType.NOT, ["a"])
+        c.add_gate("g2", GateType.NOT, ["g1"])
+        c.add_gate("g3", GateType.AND, ["a", "g2"])
+        c.mark_output("g3")
+        c.finalize()
+        assert c.levels[c.id_of("g1")] == 1
+        assert c.levels[c.id_of("g2")] == 2
+        assert c.levels[c.id_of("g3")] == 3
+        order = c.topo_order
+        assert order.index(c.id_of("g1")) < order.index(c.id_of("g2"))
+        assert order.index(c.id_of("g2")) < order.index(c.id_of("g3"))
+
+    def test_combinational_cycle_detected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate("g1", GateType.AND, ["a", "g2"])
+        c.add_gate("g2", GateType.NOT, ["g1"])
+        c.mark_output("g2")
+        with pytest.raises(CircuitError, match="cycle"):
+            c.finalize()
+
+    def test_dff_breaks_cycle(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate("g1", GateType.AND, ["a", "q"])
+        c.add_dff("q", "g1")
+        c.mark_output("g1")
+        c.finalize()  # must not raise
+        assert c.sequential_depth() == 1
+
+    def test_topo_order_covers_all_comb_gates(self, s27_circuit):
+        comb = [
+            i for i, t in enumerate(s27_circuit.node_types) if t.is_combinational
+        ]
+        assert sorted(s27_circuit.topo_order) == sorted(comb)
+
+
+class TestSequentialDepth:
+    @pytest.mark.parametrize("n", [1, 2, 5, 9])
+    def test_shift_register_depth(self, n):
+        assert shift_register(n).sequential_depth() == n
+
+    def test_combinational_depth_zero(self, c17_circuit):
+        assert c17_circuit.sequential_depth() == 0
+
+    def test_s27_depth_one(self, s27_circuit):
+        # Every s27 gate is combinationally reachable from some PI, and
+        # the flip-flops sit one stage deep.
+        assert s27_circuit.sequential_depth() == 1
+
+    def test_depth_uses_minimum_over_paths(self):
+        # A node fed both directly from a PI and through a DFF chain has
+        # minimum flip-flop distance 0.
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate("d0", GateType.NOT, ["a"])
+        c.add_dff("q0", "d0")
+        c.add_gate("mix", GateType.AND, ["a", "q0"])  # min dist 0
+        c.mark_output("mix")
+        c.finalize()
+        assert c.sequential_depth() == 1  # q0 is the furthest node
+
+    def test_depth_cached(self, s27_circuit):
+        assert s27_circuit.sequential_depth() == s27_circuit.sequential_depth()
+
+    def test_depth_requires_finalize(self):
+        c = Circuit("t")
+        c.add_input("a")
+        with pytest.raises(CircuitError, match="finalize"):
+            c.sequential_depth()
+
+
+class TestIntrospection:
+    def test_node_view(self, s27_circuit):
+        node = s27_circuit.node(s27_circuit.id_of("G10"))
+        assert node.name == "G10"
+        assert node.type is GateType.NOR
+        assert len(node.fanin) == 2
+
+    def test_iter_nodes_complete(self, s27_circuit):
+        assert len(list(s27_circuit.iter_nodes())) == s27_circuit.num_nodes
+
+    def test_id_of_unknown_raises(self, s27_circuit):
+        with pytest.raises(KeyError):
+            s27_circuit.id_of("nonexistent")
+
+    def test_stats_keys(self, s27_circuit):
+        stats = s27_circuit.stats()
+        assert stats == {
+            "inputs": 4, "outputs": 1, "dffs": 3, "gates": 10,
+            "nodes": 17, "levels": stats["levels"], "seq_depth": 1,
+        }

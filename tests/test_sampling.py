@@ -1,0 +1,97 @@
+"""Tests for fault-sampling strategies."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.faults import FixedSize, Fraction, FullList, make_sampler
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+class TestFullList:
+    def test_returns_everything(self, rng):
+        active = list(range(50))
+        assert FullList().sample(active, rng) == active
+
+    def test_returns_copy(self, rng):
+        active = [1, 2, 3]
+        out = FullList().sample(active, rng)
+        out.append(99)
+        assert active == [1, 2, 3]
+
+
+class TestFixedSize:
+    def test_caps_at_size(self, rng):
+        out = FixedSize(10).sample(list(range(100)), rng)
+        assert len(out) == 10
+        assert len(set(out)) == 10
+
+    def test_small_list_returned_whole(self, rng):
+        active = list(range(5))
+        assert FixedSize(10).sample(active, rng) == active
+
+    def test_subset_of_active(self, rng):
+        active = list(range(40))
+        assert set(FixedSize(7).sample(active, rng)) <= set(active)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FixedSize(0)
+
+    @given(st.integers(1, 30), st.integers(0, 1000))
+    def test_size_property(self, size, seed):
+        active = list(range(60))
+        out = FixedSize(size).sample(active, random.Random(seed))
+        assert len(out) == min(size, 60)
+
+
+class TestFraction:
+    def test_fraction_of_list(self, rng):
+        out = Fraction(0.1).sample(list(range(1000)), rng)
+        assert len(out) == 100
+
+    def test_minimum_floor(self, rng):
+        out = Fraction(0.01, minimum=10).sample(list(range(200)), rng)
+        assert len(out) == 10
+
+    def test_small_list_returned_whole(self, rng):
+        active = list(range(5))
+        assert Fraction(0.5).sample(active, rng) == active
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Fraction(0.0)
+        with pytest.raises(ValueError):
+            Fraction(1.5)
+
+
+class TestMakeSampler:
+    def test_none_is_full_list(self):
+        assert isinstance(make_sampler(None), FullList)
+
+    def test_int_is_fixed_size(self):
+        sampler = make_sampler(200)
+        assert isinstance(sampler, FixedSize)
+        assert sampler.size == 200
+
+    def test_float_is_fraction(self):
+        sampler = make_sampler(0.05)
+        assert isinstance(sampler, Fraction)
+        assert sampler.fraction == 0.05
+
+    def test_instance_passthrough(self):
+        sampler = FixedSize(3)
+        assert make_sampler(sampler) is sampler
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            make_sampler(True)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            make_sampler("many")

@@ -1,0 +1,77 @@
+"""Tests for netlist validation checks."""
+
+import pytest
+
+from repro.circuit import Circuit, CircuitError, GateType, Severity, check, validate
+
+
+def rules_of(circuit):
+    return {(v.rule, v.node) for v in validate(circuit)}
+
+
+def test_clean_circuit_is_clean(s27_circuit):
+    assert validate(s27_circuit) == []
+
+
+def test_dangling_node_warned():
+    c = Circuit("t")
+    c.add_input("a")
+    c.add_gate("g1", GateType.NOT, ["a"])
+    c.add_gate("dead", GateType.NOT, ["a"])
+    c.mark_output("g1")
+    c.finalize()
+    assert ("dangling", "dead") in rules_of(c)
+
+
+def test_dead_logic_warned():
+    c = Circuit("t")
+    c.add_input("a")
+    c.add_gate("g1", GateType.NOT, ["a"])
+    c.add_gate("g2", GateType.NOT, ["g1"])  # drives g3, but g3 unobserved
+    c.add_gate("g3", GateType.NOT, ["g2"])
+    c.add_gate("out", GateType.BUFF, ["a"])
+    c.mark_output("out")
+    c.finalize()
+    rules = rules_of(c)
+    assert ("dangling", "g3") in rules
+    assert ("dead-logic", "g2") in rules or ("dead-logic", "g1") in rules
+
+
+def test_duplicate_fanin_warned():
+    c = Circuit("t")
+    c.add_input("a")
+    # Builder allows duplicate fanins (they occur in real netlists);
+    # validation flags them.
+    c.add_gate("g", GateType.AND, ["a", "a"])
+    c.mark_output("g")
+    c.finalize()
+    assert ("duplicate-fanin", "g") in rules_of(c)
+
+
+def test_degenerate_gate_warned():
+    c = Circuit("t")
+    c.add_input("a")
+    c.add_gate("g", GateType.AND, ["a"])
+    c.mark_output("g")
+    c.finalize()
+    assert ("degenerate-gate", "g") in rules_of(c)
+
+
+def test_check_passes_on_warnings_only():
+    c = Circuit("t")
+    c.add_input("a")
+    c.add_gate("g", GateType.AND, ["a"])  # warning, not error
+    c.mark_output("g")
+    c.finalize()
+    check(c)  # must not raise
+
+
+def test_severity_str():
+    c = Circuit("t")
+    c.add_input("a")
+    c.add_gate("g", GateType.AND, ["a"])
+    c.mark_output("g")
+    c.finalize()
+    violation = validate(c)[0]
+    assert "degenerate-gate" in str(violation)
+    assert violation.severity is Severity.WARNING

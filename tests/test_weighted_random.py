@@ -1,0 +1,85 @@
+"""Tests for the weighted-random baseline."""
+
+import pytest
+
+from repro.baselines import (
+    RandomTestGenerator,
+    WeightedRandomGenerator,
+    scoap_weights,
+)
+from repro.circuit import Circuit, GateType, mini_fsm, s27
+from repro.faults import FaultSimulator
+
+
+class TestScoapWeights:
+    def test_in_valid_range(self, s27_circuit):
+        weights = scoap_weights(s27_circuit)
+        assert len(weights) == s27_circuit.num_inputs
+        assert all(0.1 <= w <= 0.9 for w in weights)
+
+    def test_and_loads_pull_high(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("g", GateType.AND, ["a", "b"])
+        c.mark_output("g")
+        c.finalize()
+        weights = scoap_weights(c)
+        assert all(w > 0.5 for w in weights)
+
+    def test_nor_loads_pull_low(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("g", GateType.NOR, ["a", "b"])
+        c.mark_output("g")
+        c.finalize()
+        weights = scoap_weights(c)
+        assert all(w < 0.5 for w in weights)
+
+
+class TestWeightedRandom:
+    def test_s27_high_coverage(self):
+        result = WeightedRandomGenerator(s27(), seed=0, max_vectors=400).run()
+        assert result.fault_coverage > 0.9
+
+    def test_test_set_replays(self):
+        result = WeightedRandomGenerator(mini_fsm(), seed=1, max_vectors=150).run()
+        fsim = FaultSimulator(mini_fsm())
+        fsim.commit(result.test_sequence)
+        assert fsim.detected_count == result.detected
+
+    def test_budget_respected(self):
+        result = WeightedRandomGenerator(mini_fsm(), seed=2, max_vectors=30).run()
+        assert result.vectors <= 30
+
+    def test_stagnation_terminates(self):
+        result = WeightedRandomGenerator(
+            mini_fsm(), seed=3, max_vectors=100_000, stagnation_limit=32
+        ).run()
+        assert result.vectors < 100_000
+
+    def test_deterministic(self):
+        a = WeightedRandomGenerator(s27(), seed=5, max_vectors=64).run()
+        b = WeightedRandomGenerator(s27(), seed=5, max_vectors=64).run()
+        assert a.test_sequence == b.test_sequence
+
+    def test_custom_weights_validated(self):
+        with pytest.raises(ValueError, match="weights"):
+            WeightedRandomGenerator(s27(), weights=[0.5])
+
+    def test_extreme_weights_bias_vectors(self):
+        gen = WeightedRandomGenerator(
+            s27(), seed=7, weights=[0.9, 0.9, 0.9, 0.9], adapt=False,
+            max_vectors=64,
+        )
+        result = gen.run()
+        ones = sum(sum(v) for v in result.test_sequence)
+        total = sum(len(v) for v in result.test_sequence)
+        assert ones / total > 0.75
+
+    def test_adaptive_weights_stay_bounded(self):
+        result = WeightedRandomGenerator(
+            mini_fsm(), seed=8, max_vectors=200, stagnation_limit=16
+        ).run()
+        assert all(0.1 <= w <= 0.9 for w in result.final_weights)
