@@ -7,6 +7,12 @@ minutes.  Shapes (who wins, rough ratios) are asserted; absolute values
 are printed for EXPERIMENTS.md.  Set the environment variable
 ``REPRO_BENCH_SCALE=1.0`` / ``REPRO_BENCH_SEEDS=10`` to run a bench at
 the paper's full protocol.
+
+Telemetry hook: set ``REPRO_BENCH_TRACE=out.jsonl`` to install a
+recording collector for the whole session — every ``bench_*`` script
+then dumps one combined JSONL run trace (schema: docs/TELEMETRY.md)
+without any per-bench changes, because the instrumented stack picks up
+the installed default collector.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ import os
 import pytest
 
 from repro.harness.runner import compiled_circuit_for
+from repro.telemetry import TelemetryCollector, install
 
 #: Circuit scale used by the benchmark suite.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
@@ -24,6 +31,44 @@ SEEDS = list(range(1, int(os.environ.get("REPRO_BENCH_SEEDS", "2")) + 1))
 
 #: Circuits exercised by the parameter-study benches.
 STUDY_CIRCUITS = ["s298", "s386"]
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_trace():
+    """Session-wide telemetry attach point (``REPRO_BENCH_TRACE``).
+
+    When the environment variable names an output path, a recording
+    collector is installed as the process default for the whole bench
+    session and the combined trace is written on teardown.  Without it
+    this fixture is a no-op and the null collector stays in place.
+    """
+    path = os.environ.get("REPRO_BENCH_TRACE")
+    if not path:
+        yield None
+        return
+    collector = TelemetryCollector(source="repro.benchmarks")
+    previous = install(collector)
+    try:
+        yield collector
+    finally:
+        install(previous)
+        count = collector.dump(path)
+        print(f"\n[telemetry] wrote {count} trace records to {path}")
+
+
+@pytest.fixture()
+def telemetry_collector():
+    """A per-test recording collector, installed as the default.
+
+    For benches that want their own isolated trace (e.g. to assert on
+    simulator counters) rather than the session-wide one.
+    """
+    collector = TelemetryCollector(source="repro.benchmarks")
+    previous = install(collector)
+    try:
+        yield collector
+    finally:
+        install(previous)
 
 
 @pytest.fixture(scope="session")

@@ -40,9 +40,12 @@ def _late_imports() -> None:
     still import cleanly during bootstrapping.
     """
     global GaTestGenerator, TestGenConfig, FaultSimulator, generate_faults
+    global TelemetryCollector
     from .core import GaTestGenerator, TestGenConfig  # noqa: F401
     from .faults import FaultSimulator, generate_faults  # noqa: F401
-    __all__.extend(["GaTestGenerator", "TestGenConfig", "FaultSimulator", "generate_faults"])
+    from .telemetry import TelemetryCollector  # noqa: F401
+    __all__.extend(["GaTestGenerator", "TestGenConfig", "FaultSimulator",
+                    "generate_faults", "TelemetryCollector"])
 
 
 try:

@@ -68,8 +68,42 @@ def _read_tests(path: Path, n_pi: int) -> List[List[int]]:
     return vectors
 
 
+def _make_collector(args: argparse.Namespace):
+    """A recording collector when ``--trace``/``--metrics`` asked for one."""
+    from .telemetry import TelemetryCollector, get_collector
+
+    if getattr(args, "trace", None) or getattr(args, "metrics", False):
+        return TelemetryCollector(source="repro.cli")
+    return get_collector()
+
+
+def _finish_telemetry(args: argparse.Namespace, collector) -> None:
+    """Dump the JSONL trace and/or print the metrics summary table."""
+    if getattr(args, "trace", None):
+        try:
+            count = collector.dump(Path(args.trace))
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write trace {args.trace!r}: {exc}")
+        print(f"wrote {count} trace records to {args.trace}")
+    if getattr(args, "metrics", False):
+        from .telemetry import metrics_summary
+
+        print()
+        print(metrics_summary(collector))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``gatest run``: generate tests with the selected engine."""
+    from .telemetry import use
+
+    collector = _make_collector(args)
+    with use(collector), collector.span("cli.run", engine=args.engine):
+        status = _cmd_run_body(args, collector)
+    _finish_telemetry(args, collector)
+    return status
+
+
+def _cmd_run_body(args: argparse.Namespace, collector) -> int:
     circuit = _load_circuit(args.circuit, args.scale, args.seed)
     if args.engine == "ga":
         config = TestGenConfig(
@@ -81,7 +115,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             fault_model=args.fault_model,
             n_islands=args.islands,
         )
-        result = GaTestGenerator(circuit, config).run()
+        result = GaTestGenerator(circuit, config, collector=collector).run()
         print(result.summary())
         vectors = result.test_sequence
         if args.compact:
@@ -127,9 +161,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_fsim(args: argparse.Namespace) -> int:
     """``gatest fsim``: fault-simulate a test-vector file."""
     circuit = _load_circuit(args.circuit, args.scale, args.seed)
-    fsim = FaultSimulator(circuit)
+    collector = _make_collector(args)
+    fsim = FaultSimulator(circuit, collector=collector)
     vectors = _read_tests(Path(args.tests), circuit.num_inputs)
-    fsim.commit(vectors)
+    with collector.span("cli.fsim", circuit=circuit.name, vectors=len(vectors)):
+        fsim.commit(vectors)
     print(
         f"{circuit.name}: {fsim.detected_count}/{fsim.num_faults} faults detected "
         f"({100 * fsim.fault_coverage:.2f}%) by {len(vectors)} vectors"
@@ -137,6 +173,7 @@ def cmd_fsim(args: argparse.Namespace) -> int:
     if args.verbose:
         for fault in fsim.undetected_faults():
             print(f"  undetected: {fault.describe(circuit)}")
+    _finish_telemetry(args, collector)
     return 0
 
 
@@ -221,6 +258,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                      help="statically compact the generated test set")
     run.add_argument("--max-vectors", type=int, default=None)
     run.add_argument("-o", "--output", default=None, help="write test vectors here")
+    run.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                     help="write a JSONL telemetry trace (docs/TELEMETRY.md)")
+    run.add_argument("--metrics", action="store_true",
+                     help="print a telemetry metrics summary table")
     run.set_defaults(func=cmd_run)
 
     fsim = sub.add_parser("fsim", help="fault-simulate a test file")
@@ -229,6 +270,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     fsim.add_argument("--seed", type=int, default=0)
     fsim.add_argument("--scale", type=float, default=1.0)
     fsim.add_argument("-v", "--verbose", action="store_true")
+    fsim.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                      help="write a JSONL telemetry trace (docs/TELEMETRY.md)")
+    fsim.add_argument("--metrics", action="store_true",
+                      help="print a telemetry metrics summary table")
     fsim.set_defaults(func=cmd_fsim)
 
     synth = sub.add_parser("synth", help="emit a synthetic ISCAS89 stand-in")

@@ -20,7 +20,6 @@ score a whole population in one pass.
 from __future__ import annotations
 
 import random
-import time
 from typing import List, Optional, Sequence, Tuple, Union
 
 from ..circuit.netlist import Circuit
@@ -31,6 +30,7 @@ from ..ga.chromosome import make_coding
 from ..ga.engine import GAParams, GeneticAlgorithm
 from ..sim.compile import CompiledCircuit, compile_circuit
 from ..sim.logic3 import PatternSimulator
+from ..telemetry.collector import NullCollector, get_collector
 from .config import TestGenConfig
 from .fitness import FitnessContext, Phase, fitness_for_phase, phase1_fitness
 from .phases import PhaseTracker
@@ -52,6 +52,7 @@ class GaTestGenerator:
         circuit: Union[Circuit, CompiledCircuit],
         config: Optional[TestGenConfig] = None,
         faults: Optional[List[Fault]] = None,
+        collector: Optional[NullCollector] = None,
     ) -> None:
         compiled = (
             circuit if isinstance(circuit, CompiledCircuit) else compile_circuit(circuit)
@@ -60,15 +61,18 @@ class GaTestGenerator:
         self.circuit = compiled.circuit
         self.config = (config or TestGenConfig()).for_circuit(self.circuit.name)
         self.rng = random.Random(self.config.seed)
+        self.collector = collector if collector is not None else get_collector()
         if self.config.fault_model == "transition":
             from ..faults.transition import TransitionFaultSimulator
 
             self.fsim = TransitionFaultSimulator(
-                compiled, faults=faults, word_width=self.config.word_width
+                compiled, faults=faults, word_width=self.config.word_width,
+                collector=self.collector,
             )
         else:
             self.fsim = FaultSimulator(
-                compiled, faults=faults, word_width=self.config.word_width
+                compiled, faults=faults, word_width=self.config.word_width,
+                collector=self.collector,
             )
         self.sampler = make_sampler(self.config.fault_sample)
         self.ctx = FitnessContext(
@@ -88,7 +92,7 @@ class GaTestGenerator:
 
         def evaluate(chromosomes):
             n = len(chromosomes)
-            sim = PatternSimulator(self.compiled, n_slots=n)
+            sim = PatternSimulator(self.compiled, n_slots=n, collector=self.collector)
             sim.begin(self.fsim.good_state)
             vectors = [coding.decode(c)[0] for c in chromosomes]
             stats = sim.step(vectors, count_events=False)
@@ -157,8 +161,11 @@ class GaTestGenerator:
                 rng=self.rng,
             )
         else:
-            ga = GeneticAlgorithm(coding, evaluator, params, rng=self.rng)
-        result = ga.run()
+            ga = GeneticAlgorithm(
+                coding, evaluator, params, rng=self.rng, collector=self.collector
+            )
+        with self.collector.bind(ga_run=self.ga_runs):
+            result = ga.run()
         self.ga_runs += 1
         self.ga_evaluations += result.evaluations
         return result.best.chromosome
@@ -171,7 +178,8 @@ class GaTestGenerator:
         else:
             sample = self.sampler.sample(self.fsim.active, self.rng)
             evaluator = self._fault_evaluator(coding, phase, sample)
-        best = self._run_ga(coding, evaluator, schedule)
+        with self.collector.bind(stage="vector", phase=phase.name):
+            best = self._run_ga(coding, evaluator, schedule)
         return coding.decode(best)[0]
 
     def _evolve_sequence(self, length: int) -> List[List[int]]:
@@ -179,7 +187,9 @@ class GaTestGenerator:
         schedule = self.config.sequence_ga_schedule()
         sample = self.sampler.sample(self.fsim.active, self.rng)
         evaluator = self._fault_evaluator(coding, Phase.SEQUENCES, sample)
-        best = self._run_ga(coding, evaluator, schedule)
+        with self.collector.bind(stage="sequence", phase=Phase.SEQUENCES.name,
+                                 length=length):
+            best = self._run_ga(coding, evaluator, schedule)
         return coding.decode(best)
 
     # ------------------------------------------------------------------
@@ -214,6 +224,8 @@ class GaTestGenerator:
                 ffs_set=self.fsim.good_state.num_set,
                 all_ffs_set=self.fsim.good_state.all_set,
             )
+            if self.collector.enabled:
+                self._record_stage("vector", phase, 1, commit.detected_count, True)
 
     def _generate_sequences(self, tracker: PhaseTracker) -> None:
         tracker.enter_sequences()
@@ -245,21 +257,49 @@ class GaTestGenerator:
                         committed=committed,
                     )
                 )
+                if self.collector.enabled:
+                    self._record_stage(
+                        "sequence", Phase.SEQUENCES, length,
+                        commit.detected_count if committed else 0, committed,
+                    )
 
     # ------------------------------------------------------------------
 
-    def run(self) -> TestGenResult:
-        """Execute the full Figure-1 flow and return the result record."""
-        start = time.perf_counter()
-        tracker = PhaseTracker(
-            progress_limit=self.config.progress_limit(
-                self.circuit.sequential_depth()
-            )
+    def _record_stage(
+        self, event: str, phase: Phase, frames: int, detected: int, committed: bool
+    ) -> None:
+        """Emit one StageEvent-aligned telemetry record with run context."""
+        self.collector.stage(
+            event=event,
+            phase=phase.name,
+            frames=frames,
+            detected=detected,
+            committed=committed,
+            coverage=self.fsim.fault_coverage,
+            vectors_total=len(self.test_sequence),
+            faults_active=len(self.fsim.active),
         )
-        self._generate_vectors(tracker)
-        if self.fsim.active:
-            self._generate_sequences(tracker)
-        elapsed = time.perf_counter() - start
+
+    def run(self) -> TestGenResult:
+        """Execute the full Figure-1 flow and return the result record.
+
+        The run is wrapped in a ``generator.run`` telemetry span with one
+        child span per stage; ``elapsed_seconds`` is read back from the
+        root span so the reported wall clock and the trace cannot drift.
+        """
+        collector = self.collector
+        with collector.span("generator.run", circuit=self.circuit.name) as root:
+            tracker = PhaseTracker(
+                progress_limit=self.config.progress_limit(
+                    self.circuit.sequential_depth()
+                )
+            )
+            with collector.span("generator.vectors"):
+                self._generate_vectors(tracker)
+            if self.fsim.active:
+                with collector.span("generator.sequences"):
+                    self._generate_sequences(tracker)
+        elapsed = root.elapsed
         return TestGenResult(
             circuit_name=self.circuit.name,
             test_sequence=self.test_sequence,

@@ -34,6 +34,7 @@ from ..circuit.gates import X
 from ..circuit.netlist import Circuit
 from ..sim.compile import CompiledCircuit, compile_circuit, eval_program, eval_program_injected
 from ..sim.logic3 import GoodState, Vector
+from ..telemetry.collector import NullCollector, get_collector
 from .collapse import collapsed_fault_list
 from .model import STEM, Fault, FaultStatus
 
@@ -187,11 +188,13 @@ class FaultSimulator:
         circuit: Union[Circuit, CompiledCircuit],
         faults: Optional[List[Fault]] = None,
         word_width: int = DEFAULT_WORD_WIDTH,
+        collector: Optional[NullCollector] = None,
     ) -> None:
         if isinstance(circuit, CompiledCircuit):
             self.compiled = circuit
         else:
             self.compiled = compile_circuit(circuit)
+        self.collector = collector if collector is not None else get_collector()
         self.circuit = self.compiled.circuit
         if faults is None:
             faults = collapsed_fault_list(self.circuit)
@@ -548,14 +551,26 @@ class FaultSimulator:
         prop_final = 0
         prop_sum = 0
         faulty_events = 0
+        word_passes = 0
         for group in self._make_groups(sample):
             det_word, _, g_prop_final, prop_frames, g_events, _, _ = self._run_group(
                 group, trace, count_faulty_events
             )
+            word_passes += 1
             detected += det_word.bit_count()
             prop_final += g_prop_final
             prop_sum += sum(prop_frames)
             faulty_events += g_events
+        collector = self.collector
+        if collector.enabled:
+            frames = len(vectors)
+            collector.inc("sim.evaluate.calls")
+            collector.inc("sim.evaluate.frames", frames)
+            collector.inc("sim.evaluate.faults", len(sample))
+            collector.inc("sim.evaluate.words", word_passes * frames)
+            if count_faulty_events:
+                collector.inc("sim.good_events", trace.good_events)
+                collector.inc("sim.faulty_events", faulty_events)
         return CandidateEval(
             frames=len(vectors),
             detected=detected,
@@ -769,6 +784,17 @@ class FaultSimulator:
                 if frame == frames - 1:
                     prop_final[c] = count
 
+        collector = self.collector
+        if collector.enabled:
+            collector.inc("sim.batch.calls")
+            collector.inc("sim.batch.candidates", n_cand)
+            collector.inc("sim.batch.frames", frames)
+            collector.inc("sim.batch.faults", S)
+            collector.inc("sim.batch.slot_frames", width * frames)
+            if count_faulty_events:
+                collector.inc("sim.good_events", sum(good.events))
+                collector.inc("sim.faulty_events", sum(faulty_events))
+
         results = []
         for c in range(n_cand):
             results.append(
@@ -831,6 +857,11 @@ class FaultSimulator:
         self.vectors_applied += len(vectors)
         self.detections.extend(detections)
         self._after_commit(trace)
+        collector = self.collector
+        if collector.enabled:
+            collector.inc("sim.commit.calls")
+            collector.inc("sim.commit.frames", len(vectors))
+            collector.inc("sim.commit.detected", len(detected_ids))
         return CommitResult(
             frames=len(vectors),
             detections=detections,

@@ -78,6 +78,7 @@ class TransitionFaultSimulator(FaultSimulator):
         circuit: Union[Circuit, CompiledCircuit],
         faults: Optional[List[TransitionFault]] = None,
         word_width: int = 64,
+        collector=None,
     ) -> None:
         if isinstance(circuit, CompiledCircuit):
             compiled = circuit
@@ -87,7 +88,8 @@ class TransitionFaultSimulator(FaultSimulator):
             compiled = compile_circuit(circuit)
         if faults is None:
             faults = generate_transition_faults(compiled.circuit)
-        super().__init__(compiled, faults=faults, word_width=word_width)  # type: ignore[arg-type]
+        super().__init__(compiled, faults=faults, word_width=word_width,  # type: ignore[arg-type]
+                         collector=collector)
         #: Fault-free node values at the last committed frame (scalars);
         #: the excitation condition for the first frame of any new test.
         self.prev_good: List[int] = [X] * compiled.num_nodes

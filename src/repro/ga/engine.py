@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
+from ..telemetry.collector import NullCollector, get_collector
 from .chromosome import Chromosome
 from .crossover import CrossoverOperator, make_crossover
 from .mutation import Mutation
@@ -85,10 +86,12 @@ class GeneticAlgorithm:
         params: GAParams,
         rng: Optional[random.Random] = None,
         initial: Optional[Sequence[Chromosome]] = None,
+        collector: Optional[NullCollector] = None,
     ) -> None:
         self.coding = coding
         self.evaluator = evaluator
         self.params = params
+        self.collector = collector if collector is not None else get_collector()
         self.rng = rng if rng is not None else random.Random()
         self.selection: SelectionScheme = (
             make_selection(params.selection)
@@ -148,6 +151,17 @@ class GeneticAlgorithm:
             offspring.append(self.mutation.mutate(child_b, self.coding, rng))
         return offspring[:n_offspring]
 
+    def _record_generation(self, collector, generation: int, population: Population) -> None:
+        """Emit one telemetry generation record (enabled collectors only)."""
+        fitnesses = population.fitnesses
+        collector.generation(
+            generation=generation,
+            best=max(fitnesses),
+            mean=sum(fitnesses) / len(fitnesses),
+            evaluations=self.evaluations,
+            population=len(fitnesses),
+        )
+
     def run(self, on_generation: Optional[Callable[[int, Population], None]] = None) -> GAResult:
         """Evolve for the configured number of generations.
 
@@ -156,12 +170,15 @@ class GeneticAlgorithm:
         by the experiment traces for Figures 1 and 2.
         """
         params = self.params
+        collector = self.collector
         population = self._initial_population()
         best = population.best().copy()
         best_generation = 0
         history = [best.fitness]
         if on_generation is not None:
             on_generation(0, population)
+        if collector.enabled:
+            self._record_generation(collector, 0, population)
 
         overlapping = params.generation_gap < 1.0
         for generation in range(1, params.generations + 1):
@@ -187,7 +204,13 @@ class GeneticAlgorithm:
             history.append(population.best().fitness)
             if on_generation is not None:
                 on_generation(generation, population)
+            if collector.enabled:
+                self._record_generation(collector, generation, population)
 
+        if collector.enabled:
+            collector.inc("ga.runs")
+            collector.inc("ga.generations", params.generations)
+            collector.inc("ga.evaluations", self.evaluations)
         return GAResult(
             best=best,
             best_generation=best_generation,

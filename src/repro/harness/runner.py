@@ -10,7 +10,6 @@ speed; the full-scale numbers are produced by the same code with
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -20,6 +19,7 @@ from ..core.config import TestGenConfig
 from ..core.generator import GaTestGenerator
 from ..core.results import TestGenResult
 from ..sim.compile import CompiledCircuit, compile_circuit
+from ..telemetry.collector import NullCollector, get_collector
 from .tables import mean_std
 
 
@@ -81,12 +81,19 @@ def compiled_circuit_for(name: str, scale: float = 1.0) -> CompiledCircuit:
     return _circuit_cache[key]
 
 
-def _run_one_seed(compiled: CompiledCircuit, config: TestGenConfig, seed: int) -> TestGenResult:
+def _run_one_seed(
+    compiled: CompiledCircuit,
+    config: TestGenConfig,
+    seed: int,
+    collector: Optional[NullCollector] = None,
+) -> TestGenResult:
     """Worker for parallel multi-seed runs (must be module-level so it
     pickles for :mod:`concurrent.futures`)."""
     from dataclasses import replace
 
-    return GaTestGenerator(compiled, replace(config, seed=seed)).run()
+    return GaTestGenerator(
+        compiled, replace(config, seed=seed), collector=collector
+    ).run()
 
 
 def run_gatest(
@@ -96,6 +103,7 @@ def run_gatest(
     scale: float = 1.0,
     circuit: Optional[Circuit] = None,
     jobs: int = 1,
+    collector: Optional[NullCollector] = None,
 ) -> AggregateResult:
     """Run GATEST over several seeds on one circuit and aggregate.
 
@@ -103,22 +111,35 @@ def run_gatest(
     bundled circuits).  ``jobs > 1`` fans the seeds out over worker
     processes — GA runs over distinct seeds are fully independent, the
     easy level of the parallelism the paper's §VI anticipates.
+
+    ``collector`` (default: the installed telemetry collector) wraps the
+    batch in a ``harness.run_gatest`` span and is handed to every
+    serial-path generator; worker *processes* record into their own
+    (null) collectors — per-seed traces do not cross the pool boundary.
     """
+    if collector is None:
+        collector = get_collector()
     compiled = (
         compile_circuit(circuit) if circuit is not None
         else compiled_circuit_for(circuit_name, scale)
     )
     agg = AggregateResult(circuit=circuit_name, total_faults=0)
-    if jobs > 1 and len(seeds) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    with collector.span(
+        "harness.run_gatest", circuit=circuit_name, seeds=len(seeds), jobs=jobs
+    ):
+        if jobs > 1 and len(seeds) > 1:
+            from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=min(jobs, len(seeds))) as pool:
-            results = list(
-                pool.map(_run_one_seed, [compiled] * len(seeds),
-                         [config] * len(seeds), list(seeds))
-            )
-    else:
-        results = [_run_one_seed(compiled, config, seed) for seed in seeds]
+            with ProcessPoolExecutor(max_workers=min(jobs, len(seeds))) as pool:
+                results = list(
+                    pool.map(_run_one_seed, [compiled] * len(seeds),
+                             [config] * len(seeds), list(seeds))
+                )
+        else:
+            results = [
+                _run_one_seed(compiled, config, seed, collector)
+                for seed in seeds
+            ]
     for result in results:
         agg.total_faults = result.total_faults
         agg.runs.append(result)
@@ -131,24 +152,31 @@ def run_matrix(
     seeds: Sequence[int],
     scale: float = 1.0,
     progress: Optional[Callable[[str], None]] = None,
+    collector: Optional[NullCollector] = None,
 ) -> Dict[str, Dict[str, AggregateResult]]:
     """Run a {config label -> config} matrix over several circuits.
 
     Returns ``results[circuit][label]``.  ``progress`` (if given) is
     called with a human-readable line after each cell completes — the
-    full-scale tables take a while and silence reads as a hang.
+    full-scale tables take a while and silence reads as a hang.  Each
+    cell runs inside a ``harness.cell`` telemetry span; the progress
+    line's elapsed time is that span's, so the printed and traced
+    timings are one measurement.
     """
+    if collector is None:
+        collector = get_collector()
     results: Dict[str, Dict[str, AggregateResult]] = {}
     for name in circuit_names:
         results[name] = {}
         for label, config in configs.items():
-            start = time.perf_counter()
-            agg = run_gatest(name, config, seeds, scale=scale)
+            with collector.span("harness.cell", circuit=name, label=label) as cell:
+                agg = run_gatest(name, config, seeds, scale=scale,
+                                 collector=collector)
             results[name][label] = agg
             if progress is not None:
                 progress(
                     f"{name} [{label}] det={agg.det_mean:.1f}/{agg.total_faults}"
                     f" vec={agg.vec_mean:.0f}"
-                    f" ({time.perf_counter() - start:.1f}s)"
+                    f" ({cell.elapsed:.1f}s)"
                 )
     return results

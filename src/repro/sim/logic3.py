@@ -79,11 +79,19 @@ class PatternSimulator:
         best_state = sim.extract_state(best_slot)
     """
 
-    def __init__(self, compiled: Union[CompiledCircuit, Circuit], n_slots: int = 1) -> None:
+    def __init__(
+        self,
+        compiled: Union[CompiledCircuit, Circuit],
+        n_slots: int = 1,
+        collector=None,
+    ) -> None:
         if not isinstance(compiled, CompiledCircuit):
             compiled = compile_circuit(compiled)
         if n_slots < 1:
             raise ValueError("need at least one slot")
+        from ..telemetry.collector import get_collector
+
+        self.collector = collector if collector is not None else get_collector()
         self.compiled = compiled
         self.n_slots = n_slots
         self.mask = (1 << n_slots) - 1
@@ -178,6 +186,12 @@ class PatternSimulator:
                     for s in range(n_slots):
                         if (diff >> s) & 1:
                             events[s] += 1
+        collector = self.collector
+        if collector.enabled:
+            collector.inc("sim.pattern.steps")
+            collector.inc("sim.pattern.slot_frames", n_slots)
+            if count_events:
+                collector.inc("sim.pattern.events", sum(events))
         return FrameStats(ffs_set=set_counts, ffs_changed=changed_counts, events=events)
 
     # ------------------------------------------------------------------

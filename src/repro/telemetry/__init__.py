@@ -1,0 +1,65 @@
+"""Telemetry: scoped timers, counters, GA statistics, JSONL run traces.
+
+The observability layer for the GATEST stack (see ``docs/TELEMETRY.md``
+for the metric catalogue and the JSONL record schema).  The default
+collector is a no-op (:data:`NULL`); attach a recording
+:class:`TelemetryCollector` explicitly (constructor arguments), via
+:func:`install` / :func:`use` (process default), the CLI's ``--trace``
+/ ``--metrics`` flags, or the benchmark suite's ``REPRO_BENCH_TRACE``
+hook.
+
+Quickstart::
+
+    from repro import s27
+    from repro.core import GaTestGenerator, TestGenConfig
+    from repro.telemetry import TelemetryCollector
+
+    collector = TelemetryCollector()
+    result = GaTestGenerator(s27(), TestGenConfig(seed=1),
+                             collector=collector).run()
+    collector.dump("trace.jsonl")
+"""
+
+from .collector import (
+    NULL,
+    NullCollector,
+    Span,
+    TelemetryCollector,
+    get_collector,
+    install,
+    use,
+)
+from .records import (
+    RECORD_KINDS,
+    REQUIRED_FIELDS,
+    SCHEMA_VERSION,
+    SchemaError,
+    make_record,
+    validate_record,
+    validate_trace,
+)
+from .sink import JsonlSink, read_trace, write_trace
+from .summary import generation_trajectory, metrics_summary, trace_summary
+
+__all__ = [
+    "NULL",
+    "NullCollector",
+    "Span",
+    "TelemetryCollector",
+    "get_collector",
+    "install",
+    "use",
+    "RECORD_KINDS",
+    "REQUIRED_FIELDS",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "make_record",
+    "validate_record",
+    "validate_trace",
+    "JsonlSink",
+    "read_trace",
+    "write_trace",
+    "generation_trajectory",
+    "metrics_summary",
+    "trace_summary",
+]

@@ -1,0 +1,139 @@
+"""Trace record schema: kinds, required fields, validation.
+
+Every telemetry record is one flat JSON object with two envelope
+fields — ``v`` (the schema version, currently |version|) and ``kind``
+(one of :data:`RECORD_KINDS`) — plus the kind's required fields and any
+number of extra context attributes (merged in by
+:meth:`~repro.telemetry.collector.TelemetryCollector.bind`).  The full
+human-readable specification, with one example record per kind, lives
+in ``docs/TELEMETRY.md``; this module is the machine-checkable half.
+
+The schema is deliberately *open*: unknown extra fields are allowed
+(forward compatibility for bound context attributes), but the envelope,
+the required fields and their types are not negotiable —
+:func:`validate_record` raises :class:`SchemaError` on any violation,
+and the test suite round-trips every record the instrumented stack
+emits through it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+#: Version stamped into every record's ``v`` field.  Bump on any change
+#: to required fields or their meaning, and document the migration in
+#: docs/TELEMETRY.md.
+SCHEMA_VERSION = 1
+
+_NUMBER = (int, float)
+
+#: kind -> {field name -> accepted types}.  ``kind`` and ``v`` are the
+#: envelope and are required for every record.
+REQUIRED_FIELDS: Dict[str, Dict[str, tuple]] = {
+    # One per trace, always first: identifies the producing run.
+    "meta": {
+        "schema": (int,),
+        "source": (str,),
+    },
+    # One per closed scoped timer.
+    "span": {
+        "name": (str,),
+        "path": (str,),
+        "depth": (int,),
+        "t0": _NUMBER,
+        "dur": _NUMBER,
+    },
+    # Final aggregate of one named counter (emitted at dump time).
+    "counter": {
+        "name": (str,),
+        "value": _NUMBER,
+    },
+    # One per gauge() call: an instantaneous sampled value.
+    "gauge": {
+        "name": (str,),
+        "value": _NUMBER,
+        "t": _NUMBER,
+    },
+    # One per GA generation (including the initial population, index 0).
+    "generation": {
+        "t": _NUMBER,
+        "generation": (int,),
+        "best": _NUMBER,
+        "mean": _NUMBER,
+        "evaluations": (int,),
+        "population": (int,),
+    },
+    # One per committed vector / attempted sequence (StageEvent-aligned).
+    "stage": {
+        "t": _NUMBER,
+        "event": (str,),
+        "phase": (str,),
+        "frames": (int,),
+        "detected": (int,),
+        "committed": (bool,),
+        "coverage": _NUMBER,
+        "vectors_total": (int,),
+        "faults_active": (int,),
+    },
+}
+
+#: The record kinds of schema version 1, in documentation order.
+RECORD_KINDS: Tuple[str, ...] = tuple(REQUIRED_FIELDS)
+
+
+class SchemaError(ValueError):
+    """A record does not conform to the telemetry trace schema."""
+
+
+def make_record(kind: str, **fields) -> Dict[str, object]:
+    """Build a schema-enveloped record dict (no validation — hot path)."""
+    record: Dict[str, object] = {"v": SCHEMA_VERSION, "kind": kind}
+    record.update(fields)
+    return record
+
+
+def validate_record(record: Mapping[str, object]) -> None:
+    """Raise :class:`SchemaError` unless ``record`` conforms to the schema."""
+    if not isinstance(record, Mapping):
+        raise SchemaError(f"record must be an object, got {type(record).__name__}")
+    version = record.get("v")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"unsupported schema version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    kind = record.get("kind")
+    if kind not in REQUIRED_FIELDS:
+        raise SchemaError(f"unknown record kind {kind!r}")
+    for name, types in REQUIRED_FIELDS[kind].items():
+        if name not in record:
+            raise SchemaError(f"{kind} record missing required field {name!r}")
+        value = record[name]
+        # bool is an int subclass; reject it where a number is required
+        # unless the field genuinely is a bool.
+        if bool not in types and isinstance(value, bool):
+            raise SchemaError(
+                f"{kind}.{name} must be {'/'.join(t.__name__ for t in types)}, "
+                f"got bool"
+            )
+        if not isinstance(value, types):
+            raise SchemaError(
+                f"{kind}.{name} must be {'/'.join(t.__name__ for t in types)}, "
+                f"got {type(value).__name__}"
+            )
+
+
+def validate_trace(records: Iterable[Mapping[str, object]]) -> List[Mapping[str, object]]:
+    """Validate a whole trace: every record, and ``meta`` first.
+
+    Returns the records as a list for convenience.
+    """
+    trace = list(records)
+    if not trace:
+        raise SchemaError("empty trace (expected at least a meta record)")
+    for record in trace:
+        validate_record(record)
+    if trace[0].get("kind") != "meta":
+        raise SchemaError(
+            f"first record must be meta, got {trace[0].get('kind')!r}"
+        )
+    return trace

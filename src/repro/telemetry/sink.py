@@ -1,0 +1,103 @@
+"""JSONL trace I/O: streaming sink, whole-trace write, read-back.
+
+The on-disk format is JSON Lines: one record object per line, UTF-8,
+``\n`` separators, no trailing commas — greppable, appendable, and
+streamable into any log pipeline.  Records follow the schema in
+:mod:`repro.telemetry.records` (documented in ``docs/TELEMETRY.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, List, Mapping, Optional, Union
+
+from .records import validate_record
+
+PathLike = Union[str, Path]
+
+
+def _encode(record: Mapping[str, object]) -> str:
+    return json.dumps(record, separators=(",", ":"), sort_keys=False)
+
+
+class JsonlSink:
+    """Streaming JSONL writer (use as a context manager).
+
+    Owns the file handle when constructed from a path; borrows it when
+    given an open text stream (useful for stdout or an in-memory
+    buffer).  ``validate=True`` schema-checks every record on write —
+    the default, because a malformed trace discovered at analysis time
+    is far more expensive than the check.
+    """
+
+    def __init__(self, target: Union[PathLike, IO[str]], validate: bool = True) -> None:
+        if hasattr(target, "write"):
+            self._fh: IO[str] = target  # type: ignore[assignment]
+            self._owned = False
+        else:
+            self._fh = open(target, "w", encoding="utf-8")
+            self._owned = True
+        self._validate = validate
+        self.count = 0
+
+    def write(self, record: Mapping[str, object]) -> None:
+        """Append one record as a JSON line."""
+        if self._validate:
+            validate_record(record)
+        self._fh.write(_encode(record))
+        self._fh.write("\n")
+        self.count += 1
+
+    def write_all(self, records: Iterable[Mapping[str, object]]) -> int:
+        """Append many records; returns how many were written."""
+        written = 0
+        for record in records:
+            self.write(record)
+            written += 1
+        return written
+
+    def close(self) -> None:
+        """Flush and close (only closes a handle this sink opened)."""
+        self._fh.flush()
+        if self._owned:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def write_trace(path: PathLike, records: Iterable[Mapping[str, object]]) -> int:
+    """Write a whole trace to ``path``; returns the record count."""
+    with JsonlSink(path) as sink:
+        return sink.write_all(records)
+
+
+def read_trace(path: PathLike, validate: bool = True) -> List[dict]:
+    """Read a JSONL trace back into a list of record dicts.
+
+    Blank lines are skipped.  With ``validate`` (the default) every
+    record is schema-checked; errors carry the 1-based line number.
+    """
+    from .records import SchemaError
+
+    records: List[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            if validate:
+                try:
+                    validate_record(record)
+                except SchemaError as exc:
+                    raise SchemaError(f"{path}:{lineno}: {exc}") from exc
+            records.append(record)
+    return records

@@ -1,0 +1,142 @@
+"""Human-readable rollups of a telemetry trace.
+
+:func:`metrics_summary` renders a live collector (the CLI's
+``--metrics`` table); :func:`trace_summary` renders a record list (a
+trace read back from JSONL), so post-hoc analysis of a dumped run and
+in-process reporting share one formatter.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def _format_table(rows: Sequence[Sequence[str]], header: Sequence[str]) -> List[str]:
+    """Align a small left-justified text table (numbers right-justified
+    look worse than they read in a terminal at these widths)."""
+    table = [list(header)] + [list(r) for r in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = []
+    for idx, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return lines
+
+
+def _span_rollup(spans: Iterable[Mapping[str, object]]) -> "OrderedDict[str, Dict[str, float]]":
+    rollup: "OrderedDict[str, Dict[str, float]]" = OrderedDict()
+    for record in spans:
+        path = str(record["path"])
+        agg = rollup.setdefault(path, {"calls": 0, "total": 0.0, "max": 0.0})
+        agg["calls"] += 1
+        dur = float(record["dur"])  # type: ignore[arg-type]
+        agg["total"] += dur
+        agg["max"] = max(agg["max"], dur)
+    return rollup
+
+
+def trace_summary(records: Sequence[Mapping[str, object]]) -> str:
+    """Render a record list (e.g. from :func:`read_trace`) as text."""
+    by_kind: Dict[str, List[Mapping[str, object]]] = {}
+    for record in records:
+        by_kind.setdefault(str(record.get("kind")), []).append(record)
+
+    lines: List[str] = []
+    counts = ", ".join(
+        f"{kind}={len(rs)}" for kind, rs in sorted(by_kind.items())
+    )
+    lines.append(f"trace: {len(records)} records ({counts})")
+
+    spans = by_kind.get("span", [])
+    if spans:
+        lines.append("")
+        lines.append("spans")
+        rows = [
+            [path, str(agg["calls"]), f"{agg['total']:.3f}s", f"{agg['max']:.3f}s"]
+            for path, agg in _span_rollup(spans).items()
+        ]
+        lines.extend(_format_table(rows, ["path", "calls", "total", "max"]))
+
+    counters = by_kind.get("counter", [])
+    if counters:
+        lines.append("")
+        lines.append("counters")
+        rows = [
+            [str(r["name"]), f"{r['value']:g}"]
+            for r in sorted(counters, key=lambda r: str(r["name"]))
+        ]
+        lines.extend(_format_table(rows, ["name", "value"]))
+
+    gauges = by_kind.get("gauge", [])
+    if gauges:
+        last: "OrderedDict[str, object]" = OrderedDict()
+        for record in gauges:
+            last[str(record["name"])] = record["value"]
+        lines.append("")
+        lines.append("gauges (last value)")
+        rows = [[name, f"{value:g}"] for name, value in last.items()]
+        lines.extend(_format_table(rows, ["name", "value"]))
+
+    stages = by_kind.get("stage", [])
+    if stages:
+        lines.append("")
+        lines.append("stages")
+        committed = [r for r in stages if r["committed"]]
+        detected = sum(int(r["detected"]) for r in stages)  # type: ignore[arg-type]
+        final = stages[-1]
+        lines.append(
+            f"{len(stages)} events ({len(committed)} committed), "
+            f"{detected} faults detected, final coverage "
+            f"{100 * float(final['coverage']):.1f}% "  # type: ignore[arg-type]
+            f"after {final['vectors_total']} vectors"
+        )
+        by_phase: "OrderedDict[str, List[int]]" = OrderedDict()
+        for record in stages:
+            by_phase.setdefault(str(record["phase"]), []).append(
+                int(record["detected"])  # type: ignore[arg-type]
+            )
+        rows = [
+            [phase, str(len(dets)), str(sum(dets))]
+            for phase, dets in by_phase.items()
+        ]
+        lines.extend(_format_table(rows, ["phase", "events", "detected"]))
+
+    generations = by_kind.get("generation", [])
+    if generations:
+        lines.append("")
+        lines.append("GA generations")
+        by_phase = OrderedDict()
+        best_by_phase: "OrderedDict[str, float]" = OrderedDict()
+        for record in generations:
+            phase = str(record.get("phase", "?"))
+            by_phase.setdefault(phase, []).append(0)
+            best = float(record["best"])  # type: ignore[arg-type]
+            best_by_phase[phase] = max(best_by_phase.get(phase, best), best)
+        rows = [
+            [phase, str(len(members)), f"{best_by_phase[phase]:.3f}"]
+            for phase, members in by_phase.items()
+        ]
+        lines.extend(
+            _format_table(rows, ["phase", "generations", "best fitness"])
+        )
+    return "\n".join(lines)
+
+
+def metrics_summary(collector) -> str:
+    """Render a live :class:`TelemetryCollector` as the ``--metrics`` table."""
+    if not getattr(collector, "enabled", False):
+        return "telemetry disabled (no-op collector): no metrics recorded"
+    return trace_summary(collector.records())
+
+
+def generation_trajectory(
+    records: Sequence[Mapping[str, object]], ga_run: int
+) -> List[Mapping[str, object]]:
+    """The generation records of one GA run, in generation order."""
+    return sorted(
+        (r for r in records
+         if r.get("kind") == "generation" and r.get("ga_run") == ga_run),
+        key=lambda r: int(r["generation"]),  # type: ignore[arg-type]
+    )
