@@ -2,15 +2,18 @@
 
 These track the throughput of the hot paths (DESIGN.md §6): good-machine
 pattern-parallel simulation, fault-group simulation, batch candidate
-evaluation, and the deterministic engine's PODEM search.
+evaluation, fault-sharded + cached parallel evaluation, and the
+deterministic engine's PODEM search.
 """
 
 import random
+import time
 
 import pytest
 
 from repro.baselines import Podem, unroll
 from repro.faults import FaultSimulator, collapsed_fault_list
+from repro.harness.runner import compiled_circuit_for
 from repro.sim import PatternSimulator
 
 from conftest import SCALE, circuit
@@ -85,6 +88,122 @@ def bench_candidate_evaluation_serial(benchmark):
 
     results = benchmark(run)
     assert len(results) == 32
+
+
+def _ga_candidate_stream(compiled, n_unique=24, n_evals=40, frames=4, seed=5):
+    """A GA-realistic candidate stream with ~40% duplicate evaluations.
+
+    40% is the duplicate-lookup rate *measured* on full GATEST runs in
+    this repo (s298 at scale 1.0, ``parallel.cache`` counters: 38.6% of
+    13 379 lookups were repeats; 40.6% at scale 0.25) — selection
+    re-submits survivors and crossover of near-converged parents
+    reproduces chromosomes bit-for-bit.  The stream contains ``n_unique``
+    *distinct* ``frames``-vector candidates (distinct by construction:
+    sampled without replacement from the candidate bit-space) plus
+    ``n_evals - n_unique`` resampled repeats, shuffled.
+    """
+    bits = frames * compiled.num_pis
+    rng = random.Random(seed)
+
+    def expand(code):
+        return [
+            [(code >> (f * compiled.num_pis + j)) & 1
+             for j in range(compiled.num_pis)]
+            for f in range(frames)
+        ]
+
+    pool = [expand(code) for code in rng.sample(range(1 << bits), n_unique)]
+    stream = list(pool) + [rng.choice(pool) for _ in range(n_evals - n_unique)]
+    rng.shuffle(stream)
+    return stream
+
+
+@pytest.mark.benchmark(group="parallel")
+def bench_candidate_evaluation_sharded(benchmark):
+    """Pure fault-sharding (cache off, fan-out forced) on full-size s298.
+
+    Tracks the pool path's overhead/benefit against the serial pass;
+    equality of every observable is asserted.  ``force_shard`` bypasses
+    the usable-CPU heuristic so the pool is really crossed: on a
+    single-core host this measures pure fan-out overhead (the shards
+    serialize), multicore hosts see the speedup.
+    """
+    compiled = compiled_circuit_for("s298", max(SCALE, 1.0))
+    warm = _vectors(compiled, 8, seed=2)
+    serial = FaultSimulator(compiled)
+    serial.commit(warm)
+    sharded = FaultSimulator(compiled, eval_jobs=4, eval_cache=False)
+    sharded._parallel.force_shard = True
+    sharded.commit(warm)
+    candidate = _vectors(compiled, 2, seed=9)
+    expected = serial.evaluate(candidate)
+
+    def run():
+        return sharded.evaluate(candidate)
+
+    result = benchmark(run)
+    sharded.close()
+    assert result == expected
+
+
+@pytest.mark.benchmark(group="parallel")
+def bench_candidate_evaluation_parallel_cached(benchmark):
+    """ISSUE acceptance: ≥1.8x candidate-evaluation speedup at
+    ``--eval-jobs 4`` on a circuit with ≥200 active faults.
+
+    Measures a GA-realistic evaluation stream (40% duplicates — the
+    rate measured on real runs, see ``_ga_candidate_stream``) through
+    the ``eval_jobs=4`` evaluator versus the plain serial simulator.
+    The cache is cleared before every measured pass, so each pass pays
+    its own cold misses — the speedup is the steady-state
+    per-population gain, not an artifact of reusing a warm cache.  The
+    evaluator is left in its default adaptive mode: on multicore hosts
+    misses fan out across the pool, on single-core hosts they take the
+    one-candidate wide pass; both beat the serial grouped loop, so the
+    bar holds either way.
+    """
+    compiled = compiled_circuit_for("s298", max(SCALE, 1.0))
+    warm = _vectors(compiled, 8, seed=2)
+    serial = FaultSimulator(compiled)
+    serial.commit(warm)
+    assert len(serial.active) >= 200, "acceptance requires >=200 active faults"
+    parallel = FaultSimulator(compiled, eval_jobs=4)
+    parallel.commit(warm)
+    stream = _ga_candidate_stream(compiled)
+    assert (
+        len({tuple(map(tuple, c)) for c in stream}) == 24
+    ), "stream must hold exactly the designed 40% duplicate rate"
+
+    def serial_pass():
+        return [serial.evaluate(c) for c in stream]
+
+    def parallel_pass():
+        parallel._parallel.cache.clear()
+        return [parallel.evaluate(c) for c in stream]
+
+    expected = serial_pass()
+    assert parallel_pass() == expected  # bit-identical, and warms the pool
+
+    def best_of(fn, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_serial = best_of(serial_pass)
+    results = benchmark(parallel_pass)
+    t_parallel = best_of(parallel_pass)
+    parallel.close()
+    speedup = t_serial / t_parallel
+    print(
+        f"\n[parallel] eval-jobs 4: {len(stream)} evaluations, "
+        f"{len(serial.active)} active faults: serial {t_serial:.3f}s, "
+        f"parallel+cache {t_parallel:.3f}s -> {speedup:.2f}x"
+    )
+    assert results == expected
+    assert speedup >= 1.8, f"expected >=1.8x, measured {speedup:.2f}x"
 
 
 @pytest.mark.benchmark(group="simulator")

@@ -114,6 +114,8 @@ def _cmd_run_body(args: argparse.Namespace, collector) -> int:
             fault_sample=args.sample,
             fault_model=args.fault_model,
             n_islands=args.islands,
+            eval_jobs=args.eval_jobs,
+            eval_cache=True if args.eval_cache else None,
         )
         result = GaTestGenerator(circuit, config, collector=collector).run()
         print(result.summary())
@@ -132,7 +134,11 @@ def _cmd_run_body(args: argparse.Namespace, collector) -> int:
     elif args.engine == "hybrid":
         from .core import HybridAtpg
 
-        config = TestGenConfig(seed=args.seed, fault_sample=args.sample)
+        config = TestGenConfig(
+            seed=args.seed, fault_sample=args.sample,
+            eval_jobs=args.eval_jobs,
+            eval_cache=True if args.eval_cache else None,
+        )
         result = HybridAtpg(circuit, config).run()
         print(result.summary())
         vectors = result.test_sequence
@@ -254,6 +260,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                      default="stuck-at")
     run.add_argument("--islands", type=int, default=1,
                      help="island-model GA: islands per GA run")
+    run.add_argument("--eval-jobs", type=int, default=1, metavar="N",
+                     help="fault-sharded candidate evaluation over N worker "
+                          "processes (1 = serial; results are identical — "
+                          "see docs/PERFORMANCE.md)")
+    run.add_argument("--eval-cache", action="store_true",
+                     help="force the chromosome evaluation cache on even "
+                          "with --eval-jobs 1 (auto-on when N > 1)")
     run.add_argument("--compact", action="store_true",
                      help="statically compact the generated test set")
     run.add_argument("--max-vectors", type=int, default=None)

@@ -112,7 +112,17 @@ class TestGenConfig:
     n_islands: int = 1
     migration_interval: int = 2
 
+    #: Worker processes for fault-sharded candidate evaluation
+    #: (``gatest run --eval-jobs``); 1 keeps the serial path exactly.
+    eval_jobs: int = 1
+    #: Chromosome evaluation cache: ``None`` enables it exactly when
+    #: ``eval_jobs > 1``; force with True/False.  Results are identical
+    #: either way (docs/PERFORMANCE.md).
+    eval_cache: Optional[bool] = None
+
     def __post_init__(self) -> None:
+        if self.eval_jobs < 1:
+            raise ValueError("eval_jobs must be >= 1")
         if self.n_islands < 1:
             raise ValueError("n_islands must be >= 1")
         if self.fault_model not in ("stuck-at", "transition"):
@@ -128,6 +138,13 @@ class TestGenConfig:
             raise ValueError("generation gap must be in (0, 1]")
         if self.population_scale <= 0:
             raise ValueError("population_scale must be positive")
+
+    @property
+    def eval_cache_enabled(self) -> bool:
+        """The resolved cache setting (auto: on iff ``eval_jobs > 1``)."""
+        if self.eval_cache is None:
+            return self.eval_jobs > 1
+        return self.eval_cache
 
     def for_circuit(self, circuit_name: str) -> "TestGenConfig":
         """Apply the paper's per-circuit overrides (deep circuits)."""

@@ -67,12 +67,14 @@ class GaTestGenerator:
 
             self.fsim = TransitionFaultSimulator(
                 compiled, faults=faults, word_width=self.config.word_width,
-                collector=self.collector,
+                collector=self.collector, eval_jobs=self.config.eval_jobs,
+                eval_cache=self.config.eval_cache,
             )
         else:
             self.fsim = FaultSimulator(
                 compiled, faults=faults, word_width=self.config.word_width,
-                collector=self.collector,
+                collector=self.collector, eval_jobs=self.config.eval_jobs,
+                eval_cache=self.config.eval_cache,
             )
         self.sampler = make_sampler(self.config.fault_sample)
         self.ctx = FitnessContext(
@@ -148,6 +150,10 @@ class GaTestGenerator:
             crossover=self.config.crossover,
             mutation_rate=schedule.mutation_rate,
             generation_gap=self.config.generation_gap,
+            # With the evaluation cache on, duplicate chromosomes inside
+            # one generation are also collapsed before the evaluator is
+            # called (identical fitnesses; fewer simulator slots).
+            dedup_evaluations=self.config.eval_cache_enabled,
         )
         if n_islands > 1:
             from ..ga.islands import IslandGA, IslandParams
@@ -288,17 +294,20 @@ class GaTestGenerator:
         root span so the reported wall clock and the trace cannot drift.
         """
         collector = self.collector
-        with collector.span("generator.run", circuit=self.circuit.name) as root:
-            tracker = PhaseTracker(
-                progress_limit=self.config.progress_limit(
-                    self.circuit.sequential_depth()
+        try:
+            with collector.span("generator.run", circuit=self.circuit.name) as root:
+                tracker = PhaseTracker(
+                    progress_limit=self.config.progress_limit(
+                        self.circuit.sequential_depth()
+                    )
                 )
-            )
-            with collector.span("generator.vectors"):
-                self._generate_vectors(tracker)
-            if self.fsim.active:
-                with collector.span("generator.sequences"):
-                    self._generate_sequences(tracker)
+                with collector.span("generator.vectors"):
+                    self._generate_vectors(tracker)
+                if self.fsim.active:
+                    with collector.span("generator.sequences"):
+                        self._generate_sequences(tracker)
+        finally:
+            self.fsim.close()  # release eval-jobs worker processes, if any
         elapsed = root.elapsed
         return TestGenResult(
             circuit_name=self.circuit.name,

@@ -23,6 +23,20 @@ Two entry points mirror how GATEST uses PROOFS (paper §III/§IV):
 
 Explicit :meth:`snapshot` / :meth:`restore` are also provided for
 callers that need transactional experimentation beyond that model.
+
+Candidate scoring has two executions with bit-identical results.  The
+*serial* path (the default) runs every fault group in-process, one
+``word_width``-wide pass per group.  The *sharded* path
+(``eval_jobs > 1``) hands :meth:`evaluate` / :meth:`evaluate_batch` to a
+:class:`repro.parallel.ParallelEvaluator`: the good-machine pass still
+runs here, but the fault groups are split into contiguous shards scored
+by a persistent worker-process pool and merged by summation (exact,
+because shards are disjoint fault subsets), with a chromosome-level
+memo cache in front keyed by ``(candidate bits, state_epoch)``.  The
+``state_epoch`` counter — bumped by every :meth:`commit`,
+:meth:`restore` and :meth:`reset` — is what lets that cache prove a
+memoized score is still valid.  See docs/ARCHITECTURE.md and
+docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -181,7 +195,20 @@ class PatternParallelGood:
 
 
 class FaultSimulator:
-    """Sequential fault simulator over a collapsed stuck-at fault list."""
+    """Sequential fault simulator over a collapsed stuck-at fault list.
+
+    ``eval_jobs > 1`` scores candidates fault-shard-parallel over a
+    persistent worker pool, and ``eval_cache`` memoizes candidate scores
+    per committed-state epoch (default: enabled exactly when
+    ``eval_jobs > 1``); both leave every result bit-identical to the
+    serial path (see :mod:`repro.parallel`).
+    """
+
+    #: Whether candidate scoring may be sharded to pool workers (which
+    #: rebuild a plain ``FaultSimulator``); subclasses with extra
+    #: per-frame state they cannot ship (e.g. the transition-fault
+    #: model) set this False and keep only the evaluation cache.
+    _shardable = True
 
     def __init__(
         self,
@@ -189,6 +216,8 @@ class FaultSimulator:
         faults: Optional[List[Fault]] = None,
         word_width: int = DEFAULT_WORD_WIDTH,
         collector: Optional[NullCollector] = None,
+        eval_jobs: int = 1,
+        eval_cache: Optional[bool] = None,
     ) -> None:
         if isinstance(circuit, CompiledCircuit):
             self.compiled = circuit
@@ -200,6 +229,8 @@ class FaultSimulator:
             faults = collapsed_fault_list(self.circuit)
         if word_width < 1:
             raise ValueError("word_width must be positive")
+        if eval_jobs < 1:
+            raise ValueError("eval_jobs must be >= 1")
         self.faults: List[Fault] = list(faults)
         self.word_width = word_width
         self.status: List[FaultStatus] = [FaultStatus.UNDETECTED] * len(self.faults)
@@ -210,6 +241,19 @@ class FaultSimulator:
         self.divergence: Dict[int, Dict[int, int]] = {}
         self.vectors_applied = 0
         self.detections: List[Tuple[Fault, int]] = []  # (fault, absolute frame)
+        #: Monotonic committed-state version: bumped by every commit /
+        #: restore / reset, consulted by the evaluation cache.
+        self.state_epoch = 0
+        if eval_cache is None:
+            eval_cache = eval_jobs > 1
+        if eval_jobs > 1 or eval_cache:
+            from ..parallel.evaluator import ParallelEvaluator
+
+            self._parallel: Optional["ParallelEvaluator"] = ParallelEvaluator(
+                self, jobs=eval_jobs, cache=eval_cache, collector=self.collector
+            )
+        else:
+            self._parallel = None
 
     # ------------------------------------------------------------------
     # Reporting
@@ -257,6 +301,7 @@ class FaultSimulator:
         self.status = list(snap.status)
         self.active = list(snap.active)
         self.vectors_applied = snap.vectors_applied
+        self.state_epoch += 1
 
     def reset(self) -> None:
         """Return to power-up: all faults undetected, all state unknown."""
@@ -266,6 +311,16 @@ class FaultSimulator:
         self.divergence = {}
         self.vectors_applied = 0
         self.detections = []
+        self.state_epoch += 1
+
+    def close(self) -> None:
+        """Release the parallel evaluator's worker pool, if any.
+
+        Safe to call repeatedly; scoring afterwards still works (the
+        pool is recreated on demand).  A no-op on serial simulators.
+        """
+        if self._parallel is not None:
+            self._parallel.close()
 
     # ------------------------------------------------------------------
     # Good-machine pass
@@ -543,7 +598,25 @@ class FaultSimulator:
         speedup.  ``count_faulty_events`` additionally computes the
         phase-3 activity observable (it costs an extra pass over the
         node arrays per frame).
+
+        With ``eval_jobs > 1`` / ``eval_cache`` the call is served by the
+        sharded, memoized evaluator; the result is bit-identical.
         """
+        if self._parallel is not None:
+            return self._parallel.evaluate(
+                vectors, sample=sample, count_faulty_events=count_faulty_events
+            )
+        return self._evaluate_serial(
+            vectors, sample=sample, count_faulty_events=count_faulty_events
+        )
+
+    def _evaluate_serial(
+        self,
+        vectors: Sequence[Vector],
+        sample: Optional[Sequence[int]] = None,
+        count_faulty_events: bool = False,
+    ) -> CandidateEval:
+        """The in-process scoring pass behind :meth:`evaluate`."""
         if sample is None:
             sample = self.active
         trace = self._run_good(vectors, count_events=count_faulty_events)
@@ -602,8 +675,26 @@ class FaultSimulator:
         widening the word is nearly free and this replaces
         ``len(candidates) * ceil(S / word_width)`` narrow passes.
 
-        All candidates must have the same number of frames.
+        All candidates must have the same number of frames.  With
+        ``eval_jobs > 1`` / ``eval_cache`` the population is served by
+        the sharded, memoized evaluator instead (duplicates are scored
+        once; misses fan out per fault shard); results are bit-identical.
         """
+        if self._parallel is not None:
+            return self._parallel.evaluate_batch(
+                candidates, sample=sample, count_faulty_events=count_faulty_events
+            )
+        return self._evaluate_batch_serial(
+            candidates, sample=sample, count_faulty_events=count_faulty_events
+        )
+
+    def _evaluate_batch_serial(
+        self,
+        candidates: Sequence[Sequence[Vector]],
+        sample: Optional[Sequence[int]] = None,
+        count_faulty_events: bool = False,
+    ) -> List[CandidateEval]:
+        """The in-process wide-word pass behind :meth:`evaluate_batch`."""
         if sample is None:
             sample = self.active
         sample = list(sample)
@@ -615,7 +706,9 @@ class FaultSimulator:
             raise ValueError("all candidates must have the same frame count")
         if not sample or frames == 0:
             return [
-                self.evaluate(c, sample=sample, count_faulty_events=count_faulty_events)
+                self._evaluate_serial(
+                    c, sample=sample, count_faulty_events=count_faulty_events
+                )
                 for c in candidates
             ]
 
@@ -856,6 +949,7 @@ class FaultSimulator:
             self.good_state = GoodState(list(trace.ff_states[-1]))
         self.vectors_applied += len(vectors)
         self.detections.extend(detections)
+        self.state_epoch += 1
         self._after_commit(trace)
         collector = self.collector
         if collector.enabled:

@@ -73,12 +73,20 @@ class TransitionFaultSimulator(FaultSimulator):
     instead of being static.
     """
 
+    #: Pool workers rebuild a plain stuck-at simulator, which cannot
+    #: replay this model's per-frame conditional injection; only the
+    #: epoch-keyed evaluation cache applies (``eval_jobs`` is accepted
+    #: but scoring stays in-process).
+    _shardable = False
+
     def __init__(
         self,
         circuit: Union[Circuit, CompiledCircuit],
         faults: Optional[List[TransitionFault]] = None,
         word_width: int = 64,
         collector=None,
+        eval_jobs: int = 1,
+        eval_cache: Optional[bool] = None,
     ) -> None:
         if isinstance(circuit, CompiledCircuit):
             compiled = circuit
@@ -89,7 +97,8 @@ class TransitionFaultSimulator(FaultSimulator):
         if faults is None:
             faults = generate_transition_faults(compiled.circuit)
         super().__init__(compiled, faults=faults, word_width=word_width,  # type: ignore[arg-type]
-                         collector=collector)
+                         collector=collector, eval_jobs=eval_jobs,
+                         eval_cache=eval_cache)
         #: Fault-free node values at the last committed frame (scalars);
         #: the excitation condition for the first frame of any new test.
         self.prev_good: List[int] = [X] * compiled.num_nodes

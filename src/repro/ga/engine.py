@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..telemetry.collector import NullCollector, get_collector
 from .chromosome import Chromosome
@@ -42,6 +42,11 @@ class GAParams:
     mutation_rate: float = 1 / 64
     crossover_prob: float = 1.0
     generation_gap: float = 1.0
+    #: Collapse duplicate chromosomes within one generation before the
+    #: batch evaluator is called.  Exact for any per-candidate-pure
+    #: evaluator (all of GATEST's are); GATEST turns it on together with
+    #: the chromosome evaluation cache (see :mod:`repro.parallel`).
+    dedup_evaluations: bool = False
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -108,14 +113,48 @@ class GeneticAlgorithm:
     # ------------------------------------------------------------------
 
     def _evaluate(self, chromosomes: List[Chromosome]) -> List[float]:
-        fitnesses = self.evaluator(chromosomes)
-        if len(fitnesses) != len(chromosomes):
+        if self.params.dedup_evaluations:
+            evaluated = self._evaluate_deduped(chromosomes)
+        else:
+            evaluated = self.evaluator(chromosomes)
+        if len(evaluated) != len(chromosomes):
             raise ValueError(
-                f"evaluator returned {len(fitnesses)} fitnesses "
+                f"evaluator returned {len(evaluated)} fitnesses "
                 f"for {len(chromosomes)} chromosomes"
             )
+        # ``evaluations`` counts logical fitness lookups (the paper's
+        # cost metric), independent of how many were deduplicated.
         self.evaluations += len(chromosomes)
-        return list(fitnesses)
+        return list(evaluated)
+
+    def _evaluate_deduped(self, chromosomes: List[Chromosome]) -> List[float]:
+        """Call the evaluator once per *distinct* chromosome.
+
+        Exact whenever the evaluator is pure per candidate (a
+        candidate's fitness does not depend on its batch-mates), which
+        holds for every GATEST evaluator: the pattern-parallel and
+        wide-word batch passes keep each candidate in its own bit slots.
+        """
+        index_of: Dict[tuple, int] = {}
+        unique: List[Chromosome] = []
+        for c in chromosomes:
+            key = tuple(c)
+            if key not in index_of:
+                index_of[key] = len(unique)
+                unique.append(c)
+        if len(unique) == len(chromosomes):
+            return self.evaluator(chromosomes)
+        fitnesses = self.evaluator(unique)
+        if len(fitnesses) != len(unique):
+            raise ValueError(
+                f"evaluator returned {len(fitnesses)} fitnesses "
+                f"for {len(unique)} chromosomes"
+            )
+        if self.collector.enabled:
+            self.collector.inc(
+                "ga.dedup.skipped", len(chromosomes) - len(unique)
+            )
+        return [fitnesses[index_of[tuple(c)]] for c in chromosomes]
 
     def _initial_population(self) -> Population:
         size = self.params.population_size

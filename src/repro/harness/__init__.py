@@ -1,7 +1,13 @@
 """Experiment harness: runners, table rendering, paper reference data."""
 
 from . import paper_data
-from .runner import AggregateResult, compiled_circuit_for, run_gatest, run_matrix
+from .runner import (
+    AggregateResult,
+    compiled_circuit_for,
+    run_gatest,
+    run_matrix,
+    set_default_eval_jobs,
+)
 from .tables import TextTable, fmt_mean_std, fmt_time, mean_std
 
 __all__ = [
@@ -13,5 +19,6 @@ __all__ = [
     "mean_std",
     "paper_data",
     "run_gatest",
+    "set_default_eval_jobs",
     "run_matrix",
 ]

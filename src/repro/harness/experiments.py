@@ -440,8 +440,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="use the paper's full circuit list for the table")
     parser.add_argument("--circuits", nargs="*", default=None,
                         help="explicit circuit subset")
+    parser.add_argument("--eval-jobs", type=int, default=None, metavar="N",
+                        help="fault-sharded candidate evaluation over N "
+                             "worker processes per run (bit-identical "
+                             "results; see docs/PERFORMANCE.md)")
     args = parser.parse_args(argv)
 
+    if args.eval_jobs is not None:
+        from .runner import set_default_eval_jobs
+
+        set_default_eval_jobs(args.eval_jobs)
     seeds = list(range(1, args.seeds + 1))
     names = list(TABLES) if args.table == "all" else [args.table]
     for name in names:

@@ -72,6 +72,26 @@ class AggregateResult:
 #: Cache of compiled synthetic circuits, keyed by (name, scale).
 _circuit_cache: Dict[tuple, CompiledCircuit] = {}
 
+#: Process-wide default for fault-sharded candidate evaluation, applied
+#: by :func:`run_gatest` to configs that left ``eval_jobs`` at 1.  Set
+#: by ``repro.harness.experiments --eval-jobs`` so every table driver
+#: picks it up without threading a parameter through each table builder.
+_default_eval_jobs: Optional[int] = None
+
+
+def set_default_eval_jobs(jobs: Optional[int]) -> Optional[int]:
+    """Install the harness-wide ``eval_jobs`` default; returns the old one.
+
+    ``None`` (the initial value) leaves configs untouched.  Seed-level
+    process parallelism (``run_gatest(jobs=...)``) and candidate-level
+    sharding multiply: with both active, expect ``jobs * eval_jobs``
+    worker processes — see docs/PERFORMANCE.md before combining them.
+    """
+    global _default_eval_jobs
+    previous = _default_eval_jobs
+    _default_eval_jobs = jobs
+    return previous
+
 
 def compiled_circuit_for(name: str, scale: float = 1.0) -> CompiledCircuit:
     """Synthesize (cached) and compile the stand-in for ``name``."""
@@ -103,6 +123,7 @@ def run_gatest(
     scale: float = 1.0,
     circuit: Optional[Circuit] = None,
     jobs: int = 1,
+    eval_jobs: Optional[int] = None,
     collector: Optional[NullCollector] = None,
 ) -> AggregateResult:
     """Run GATEST over several seeds on one circuit and aggregate.
@@ -111,6 +132,12 @@ def run_gatest(
     bundled circuits).  ``jobs > 1`` fans the seeds out over worker
     processes — GA runs over distinct seeds are fully independent, the
     easy level of the parallelism the paper's §VI anticipates.
+    ``eval_jobs`` shards each run's *candidate evaluation* across worker
+    processes instead (within-run parallelism, bit-identical results);
+    it overrides both ``config.eval_jobs`` and the harness default set
+    with :func:`set_default_eval_jobs`.  The two levels multiply —
+    prefer seed-level ``jobs`` when there are many seeds, ``eval_jobs``
+    when a single run's wall clock is what matters.
 
     ``collector`` (default: the installed telemetry collector) wraps the
     batch in a ``harness.run_gatest`` span and is handed to every
@@ -119,6 +146,12 @@ def run_gatest(
     """
     if collector is None:
         collector = get_collector()
+    if eval_jobs is None:
+        eval_jobs = _default_eval_jobs
+    if eval_jobs is not None and eval_jobs != config.eval_jobs:
+        from dataclasses import replace
+
+        config = replace(config, eval_jobs=eval_jobs)
     compiled = (
         compile_circuit(circuit) if circuit is not None
         else compiled_circuit_for(circuit_name, scale)

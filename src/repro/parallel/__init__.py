@@ -1,0 +1,36 @@
+"""Fault-sharded parallel candidate evaluation and the evaluation cache.
+
+The GA hot loop spends nearly all of its time fault-simulating candidate
+tests (paper §IV; DESIGN.md §6).  This package speeds that loop up along
+two independent axes, both without changing any result bit:
+
+* :class:`~repro.parallel.evaluator.ParallelEvaluator` — splits the
+  active fault list into the same ``word_width`` groups the serial
+  simulator uses, shards contiguous runs of groups across a persistent
+  :class:`~concurrent.futures.ProcessPoolExecutor`, and merges the
+  per-shard :class:`~repro.faults.simulator.CandidateEval` observables
+  by summation.  Shards are disjoint fault subsets, so the merge is
+  exact and parallel results are bit-identical to serial ones.
+* :class:`~repro.parallel.cache.EvalCache` — memoizes candidate scores
+  keyed by ``(chromosome bits, state epoch)``.  Duplicate individuals
+  (common within a GA population and across overlapping generations,
+  Table 7) skip fault simulation entirely; every state-changing
+  simulator operation bumps the epoch, so a stale hit is impossible.
+
+Entry points: :class:`FaultSimulator` grows ``eval_jobs`` / ``eval_cache``
+constructor knobs, :class:`~repro.core.config.TestGenConfig` carries the
+same knobs into a GATEST run, and the CLI exposes ``gatest run
+--eval-jobs N``.  See docs/ARCHITECTURE.md for where this sits in the
+stack and docs/PERFORMANCE.md for tuning guidance and measured numbers.
+"""
+
+from .cache import EvalCache, eval_key
+from .evaluator import ParallelEvaluator
+from .sharding import plan_shards
+
+__all__ = [
+    "EvalCache",
+    "ParallelEvaluator",
+    "eval_key",
+    "plan_shards",
+]

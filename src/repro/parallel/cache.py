@@ -1,0 +1,100 @@
+"""Candidate evaluation cache keyed by chromosome bits and state epoch.
+
+GA populations are full of duplicate individuals: uniform crossover of
+near-converged parents often reproduces a parent bit-for-bit, mutation
+rates are of order 1/L, and overlapping populations (Table 7) carry
+survivors from generation to generation.  Scoring a candidate is a full
+fault-simulation pass, yet its result is a pure function of
+
+* the candidate's decoded vectors (its chromosome bits),
+* the simulator's committed state, and
+* the fault sample plus the activity-counting flag.
+
+:class:`EvalCache` memoizes on exactly that.  Committed state is
+summarized by the simulator's ``state_epoch`` — a counter bumped by
+every state-changing operation (``commit`` / ``restore`` / ``reset``) —
+so the cache can never return a score computed against stale state.
+Epochs only move forward, which means entries from older epochs are
+unreachable; the cache therefore keeps entries for the current epoch
+only and drops everything on an epoch change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..faults.simulator import CandidateEval
+from ..sim.logic3 import Vector
+
+#: Default bound on live entries (one epoch's worth of distinct
+#: candidates; a GA run on a 16-PI circuit has at most 2^16 of them).
+DEFAULT_MAX_ENTRIES = 65536
+
+Key = Tuple[Tuple[Tuple[int, ...], ...], Tuple[int, ...], bool]
+
+
+def eval_key(
+    vectors: Sequence[Vector],
+    sample: Sequence[int],
+    count_faulty_events: bool,
+) -> Key:
+    """Exact (collision-free) cache key for one candidate evaluation."""
+    return (
+        tuple(tuple(v) for v in vectors),
+        tuple(sample),
+        bool(count_faulty_events),
+    )
+
+
+class EvalCache:
+    """Epoch-scoped memo of :class:`CandidateEval` results.
+
+    ``get``/``put`` take the simulator's current ``state_epoch``; a
+    lookup under a new epoch invalidates every stored entry first.
+    Hit/miss totals accumulate across epochs (they feed the
+    ``parallel.cache.hits`` / ``parallel.cache.misses`` telemetry
+    counters and the PERFORMANCE.md tuning guide).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._epoch: Optional[int] = None
+        self._entries: Dict[Key, CandidateEval] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _sync_epoch(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            self._entries.clear()
+            self._epoch = epoch
+
+    def get(self, epoch: int, key: Key) -> Optional[CandidateEval]:
+        """The memoized result for ``key`` at ``epoch``, or ``None``.
+
+        Counts a hit or a miss; callers that merely probe should not use
+        this method.
+        """
+        self._sync_epoch(epoch)
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, epoch: int, key: Key, result: CandidateEval) -> None:
+        """Store one result (evicting the oldest entry when full)."""
+        self._sync_epoch(epoch)
+        if len(self._entries) >= self.max_entries and key not in self._entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = result
+
+    def clear(self) -> None:
+        """Drop all entries (hit/miss totals are kept)."""
+        self._entries.clear()
+        self._epoch = None

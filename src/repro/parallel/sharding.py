@@ -1,0 +1,59 @@
+"""Contiguous sharding of fault word-groups across evaluation workers.
+
+The serial simulator chunks the sampled fault list into groups of
+``word_width`` slots (:meth:`FaultSimulator._make_groups`) and simulates
+one group per pass.  A *shard* is a contiguous run of those groups: the
+unit of work shipped to one pool worker.  Keeping the serial grouping
+intact — sharding only ever concatenates whole groups — is what makes
+the parallel path bit-identical to the serial one: every (fault, slot)
+packing is exactly the packing the serial pass would have used.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def plan_shards(n_groups: int, jobs: int) -> List[Tuple[int, int]]:
+    """Split ``n_groups`` word-groups into at most ``jobs`` contiguous shards.
+
+    Returns ``(start, stop)`` half-open index ranges, in order, covering
+    ``range(n_groups)`` exactly once.  Shard sizes differ by at most one
+    group (the first ``n_groups % jobs`` shards get the extra), so
+    worker loads stay balanced.  Fewer than ``jobs`` shards are returned
+    when there are fewer groups than workers.
+
+    >>> plan_shards(5, 2)
+    [(0, 3), (3, 5)]
+    >>> plan_shards(2, 4)
+    [(0, 1), (1, 2)]
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if n_groups < 0:
+        raise ValueError("n_groups must be >= 0")
+    if n_groups == 0:
+        return []
+    n_shards = min(jobs, n_groups)
+    base, extra = divmod(n_groups, n_shards)
+    shards: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(n_shards):
+        stop = start + base + (1 if i < extra else 0)
+        shards.append((start, stop))
+        start = stop
+    return shards
+
+
+def shard_groups(
+    groups: Sequence[Sequence[int]], jobs: int
+) -> List[List[List[int]]]:
+    """Apply :func:`plan_shards` to an actual group list.
+
+    Returns one list of groups per shard; concatenating the shards in
+    order recovers ``groups`` exactly.
+    """
+    return [
+        [list(g) for g in groups[start:stop]]
+        for start, stop in plan_shards(len(groups), jobs)
+    ]

@@ -55,6 +55,25 @@ class TestRun:
         assert code == 0
         assert "untestable" in out
 
+    def test_eval_jobs_matches_serial(self, capsys):
+        code, serial = run_cli(capsys, "run", "s27", "--seed", "7")
+        assert code == 0
+        code, parallel = run_cli(
+            capsys, "run", "s27", "--seed", "7", "--eval-jobs", "2"
+        )
+        assert code == 0
+        # Bit-identical contract, end to end through the CLI: same
+        # detections, vector count and evaluation count.
+        assert parallel.split(",")[:1] == serial.split(",")[:1]
+        assert "det 26/26" in parallel
+
+    def test_eval_cache_flag(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "s27", "--seed", "7", "--eval-cache"
+        )
+        assert code == 0
+        assert "det 26/26" in out
+
 
 class TestFsim:
     def test_round_trip(self, capsys, tmp_path):

@@ -1,0 +1,30 @@
+"""Documentation health: no dead relative links in the markdown docs.
+
+Runs tools/check_doc_links.py (the same script CI runs) over the
+repository's README and docs/*.md, so a renamed file or heading fails
+tier-1 tests, not just the separate CI step.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestDocLinks:
+    def test_no_dead_links(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_doc_links.py"),
+             str(REPO_ROOT)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout
+
+    def test_documentation_suite_is_linked_from_readme(self):
+        """The README's Documentation index must reference every doc."""
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for doc in ("DESIGN.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md",
+                    "docs/PERFORMANCE.md", "docs/TELEMETRY.md"):
+            assert f"({doc})" in readme, f"README does not link {doc}"

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repository's markdown docs.
+
+Checks every ``[text](target)`` link in README.md, the other top-level
+markdown documents, and docs/*.md:
+
+* relative file targets must exist (resolved against the linking file);
+* ``#fragment`` anchors — bare or attached to a file target — must
+  match a heading in the target document, using GitHub's slug rules
+  (lowercase, punctuation stripped, spaces to hyphens);
+* absolute URLs (``http(s)://``, ``mailto:``) are not checked.
+
+Fenced code blocks and inline code spans are ignored, so example
+snippets cannot produce false positives.  Exit status 0 when every
+link resolves, 1 otherwise (one diagnostic line per dead link) — CI
+runs this, and tests/test_docs.py keeps it in the tier-1 suite.
+
+Usage: python tools/check_doc_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Documents checked: top-level markdown plus everything under docs/.
+DOC_GLOBS = ("*.md", "docs/*.md")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^(```|~~~)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def _slug(heading: str) -> str:
+    """GitHub-style anchor slug for one heading line."""
+    text = _CODE_SPAN.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _strip_code(lines: List[str]) -> List[str]:
+    """Blank out fenced code blocks and inline code spans."""
+    out: List[str] = []
+    in_fence = False
+    for line in lines:
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else _CODE_SPAN.sub("", line))
+    return out
+
+
+def _anchors(path: Path) -> set:
+    """All heading slugs in one markdown file (duplicate-suffix aware)."""
+    slugs: set = set()
+    counts: dict = {}
+    lines = _strip_code(path.read_text(encoding="utf-8").splitlines())
+    for line in lines:
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = _slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(path: Path, root: Path) -> List[Tuple[int, str, str]]:
+    """All dead links in one file as (line, target, reason) tuples."""
+    dead: List[Tuple[int, str, str]] = []
+    lines = _strip_code(path.read_text(encoding="utf-8").splitlines())
+    for lineno, line in enumerate(lines, start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                continue
+            file_part, _, fragment = target.partition("#")
+            resolved = (
+                path if not file_part else (path.parent / file_part).resolve()
+            )
+            if file_part and not resolved.exists():
+                dead.append((lineno, target, "missing file"))
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in _anchors(resolved):
+                    dead.append((lineno, target, "missing anchor"))
+    return dead
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    failures = 0
+    checked = 0
+    for pattern in DOC_GLOBS:
+        for path in sorted(root.glob(pattern)):
+            checked += 1
+            for lineno, target, reason in check_file(path, root):
+                failures += 1
+                print(f"{path.relative_to(root)}:{lineno}: dead link "
+                      f"({reason}): {target}")
+    print(f"checked {checked} markdown files: "
+          f"{'OK' if not failures else f'{failures} dead link(s)'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
