@@ -17,6 +17,7 @@ the installed default collector.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -31,6 +32,43 @@ SEEDS = list(range(1, int(os.environ.get("REPRO_BENCH_SEEDS", "2")) + 1))
 
 #: Circuits exercised by the parameter-study benches.
 STUDY_CIRCUITS = ["s298", "s386"]
+
+
+#: Records accumulated by :func:`record_bench` for ``REPRO_BENCH_JSON``.
+_BENCH_RECORDS: list = []
+
+
+def record_bench(name: str, params: dict, seconds: float, speedup=None) -> dict:
+    """Record one benchmark measurement for machine consumption.
+
+    Benches call this with their headline numbers; when the environment
+    variable ``REPRO_BENCH_JSON`` names a path, the session teardown
+    writes every record there as a JSON array of
+    ``{name, params, seconds, speedup}`` objects (``speedup`` is null
+    for benches that measure a single configuration).  Returns the
+    record so callers can embed it in their own artifacts too.
+    """
+    record = {
+        "name": name,
+        "params": dict(params),
+        "seconds": seconds,
+        "speedup": speedup,
+    }
+    _BENCH_RECORDS.append(record)
+    return record
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_json():
+    """Per-bench JSON dump hook (``REPRO_BENCH_JSON=path``)."""
+    yield
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path or not _BENCH_RECORDS:
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(_BENCH_RECORDS, fh, indent=2)
+        fh.write("\n")
+    print(f"\n[bench] wrote {len(_BENCH_RECORDS)} records to {path}")
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -116,6 +116,7 @@ def _cmd_run_body(args: argparse.Namespace, collector) -> int:
             n_islands=args.islands,
             eval_jobs=args.eval_jobs,
             eval_cache=True if args.eval_cache else None,
+            sim_kernel=args.kernel,
         )
         result = GaTestGenerator(circuit, config, collector=collector).run()
         print(result.summary())
@@ -138,6 +139,7 @@ def _cmd_run_body(args: argparse.Namespace, collector) -> int:
             seed=args.seed, fault_sample=args.sample,
             eval_jobs=args.eval_jobs,
             eval_cache=True if args.eval_cache else None,
+            sim_kernel=args.kernel,
         )
         result = HybridAtpg(circuit, config).run()
         print(result.summary())
@@ -168,7 +170,7 @@ def cmd_fsim(args: argparse.Namespace) -> int:
     """``gatest fsim``: fault-simulate a test-vector file."""
     circuit = _load_circuit(args.circuit, args.scale, args.seed)
     collector = _make_collector(args)
-    fsim = FaultSimulator(circuit, collector=collector)
+    fsim = FaultSimulator(circuit, collector=collector, kernel=args.kernel)
     vectors = _read_tests(Path(args.tests), circuit.num_inputs)
     with collector.span("cli.fsim", circuit=circuit.name, vectors=len(vectors)):
         fsim.commit(vectors)
@@ -267,6 +269,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument("--eval-cache", action="store_true",
                      help="force the chromosome evaluation cache on even "
                           "with --eval-jobs 1 (auto-on when N > 1)")
+    run.add_argument("--kernel", choices=["interp", "codegen"], default=None,
+                     help="simulation kernel backend (default: codegen, or "
+                          "$REPRO_SIM_KERNEL; results are bit-identical — "
+                          "see docs/ARCHITECTURE.md)")
     run.add_argument("--compact", action="store_true",
                      help="statically compact the generated test set")
     run.add_argument("--max-vectors", type=int, default=None)
@@ -283,6 +289,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     fsim.add_argument("--seed", type=int, default=0)
     fsim.add_argument("--scale", type=float, default=1.0)
     fsim.add_argument("-v", "--verbose", action="store_true")
+    fsim.add_argument("--kernel", choices=["interp", "codegen"], default=None,
+                      help="simulation kernel backend (default: codegen)")
     fsim.add_argument("--trace", default=None, metavar="OUT.jsonl",
                       help="write a JSONL telemetry trace (docs/TELEMETRY.md)")
     fsim.add_argument("--metrics", action="store_true",

@@ -120,11 +120,22 @@ class TestGenConfig:
     #: either way (docs/PERFORMANCE.md).
     eval_cache: Optional[bool] = None
 
+    #: Simulation kernel backend: "interp" (reference interpreter),
+    #: "codegen" (generated straight-line Python, the default) or
+    #: ``None`` (auto: ``REPRO_SIM_KERNEL`` env, else codegen).  Results
+    #: are bit-identical either way (docs/ARCHITECTURE.md).
+    sim_kernel: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.eval_jobs < 1:
             raise ValueError("eval_jobs must be >= 1")
         if self.n_islands < 1:
             raise ValueError("n_islands must be >= 1")
+        if self.sim_kernel not in (None, "interp", "codegen"):
+            raise ValueError(
+                f"unknown simulation kernel {self.sim_kernel!r}; "
+                "choose 'interp' or 'codegen'"
+            )
         if self.fault_model not in ("stuck-at", "transition"):
             raise ValueError(
                 f"unknown fault model {self.fault_model!r}; "

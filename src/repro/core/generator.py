@@ -69,12 +69,14 @@ class GaTestGenerator:
                 compiled, faults=faults, word_width=self.config.word_width,
                 collector=self.collector, eval_jobs=self.config.eval_jobs,
                 eval_cache=self.config.eval_cache,
+                kernel=self.config.sim_kernel,
             )
         else:
             self.fsim = FaultSimulator(
                 compiled, faults=faults, word_width=self.config.word_width,
                 collector=self.collector, eval_jobs=self.config.eval_jobs,
                 eval_cache=self.config.eval_cache,
+                kernel=self.config.sim_kernel,
             )
         self.sampler = make_sampler(self.config.fault_sample)
         self.ctx = FitnessContext(
@@ -94,7 +96,10 @@ class GaTestGenerator:
 
         def evaluate(chromosomes):
             n = len(chromosomes)
-            sim = PatternSimulator(self.compiled, n_slots=n, collector=self.collector)
+            sim = PatternSimulator(
+                self.compiled, n_slots=n, collector=self.collector,
+                kernel=self.config.sim_kernel,
+            )
             sim.begin(self.fsim.good_state)
             vectors = [coding.decode(c)[0] for c in chromosomes]
             stats = sim.step(vectors, count_events=False)

@@ -46,7 +46,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..circuit.gates import X
 from ..circuit.netlist import Circuit
-from ..sim.compile import CompiledCircuit, compile_circuit, eval_program, eval_program_injected
+from ..sim.codegen import SimKernel, kernel_for
+from ..sim.compile import CompiledCircuit, compile_circuit
 from ..sim.logic3 import GoodState, Vector
 from ..telemetry.collector import NullCollector, get_collector
 from .collapse import collapsed_fault_list
@@ -112,8 +113,16 @@ class PatternParallelGood:
     observables the phase-1/3 fitness functions need.
     """
 
-    def __init__(self, compiled, state: GoodState, candidates, count_events: bool = False) -> None:
+    def __init__(
+        self,
+        compiled,
+        state: GoodState,
+        candidates,
+        count_events: bool = False,
+        kernel: Optional[SimKernel] = None,
+    ) -> None:
         self.compiled = compiled
+        self._kernel = kernel if kernel is not None else kernel_for(compiled)
         self.candidates = candidates
         self.count_events = count_events
         n_cand = len(candidates)
@@ -157,7 +166,7 @@ class PatternParallelGood:
         for k, ff in enumerate(compiled.ff_ids):
             v1[ff], v0[ff] = self.ff1[k], self.ff0[k]
 
-        eval_program(compiled.program, v1, v0, self.mask)
+        self._kernel.eval(v1, v0, self.mask)
 
         self.ffs_changed = [0] * n_cand
         next_scalars = [[] for _ in range(n_cand)]
@@ -218,12 +227,19 @@ class FaultSimulator:
         collector: Optional[NullCollector] = None,
         eval_jobs: int = 1,
         eval_cache: Optional[bool] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         if isinstance(circuit, CompiledCircuit):
             self.compiled = circuit
         else:
             self.compiled = compile_circuit(circuit)
         self.collector = collector if collector is not None else get_collector()
+        self._kernel = kernel_for(self.compiled, kernel, collector=self.collector)
+        #: Backend actually evaluating the compiled program (``"interp"``
+        #: or ``"codegen"``, after any fallback); workers must match it.
+        self.kernel_name = self._kernel.name
+        if self.collector.enabled:
+            self.collector.inc(f"sim.kernel.{self.kernel_name}")
         self.circuit = self.compiled.circuit
         if faults is None:
             faults = collapsed_fault_list(self.circuit)
@@ -244,6 +260,12 @@ class FaultSimulator:
         #: Monotonic committed-state version: bumped by every commit /
         #: restore / reset, consulted by the evaluation cache.
         self.state_epoch = 0
+        #: Per-epoch memo of grouped injection plans (groups + digested
+        #: force tables).  They depend only on group membership, which
+        #: only changes with the committed state, so every evaluate
+        #: against the same sample reuses them.
+        self._plan_cache: Dict[Tuple[int, ...], list] = {}
+        self._plan_epoch = -1
         if eval_cache is None:
             eval_cache = eval_jobs > 1
         if eval_jobs > 1 or eval_cache:
@@ -347,7 +369,7 @@ class FaultSimulator:
                 value = ff_scalars[k]
                 v1[ff] = 1 if value == 1 else 0
                 v0[ff] = 1 if value == 0 else 0
-            eval_program(compiled.program, v1, v0, 1)
+            self._kernel.eval(v1, v0, 1)
             next_scalars = []
             ffs_changed_last = 0
             for k, d_node in enumerate(compiled.ff_d_ids):
@@ -455,6 +477,46 @@ class FaultSimulator:
         ]
         return out_force, pin_force, pi_forces, ff_out_forces, ff_pin_forces
 
+    def _group_injection(self, group: Sequence[int]):
+        """Digest one group's injection tables for :meth:`_run_group`.
+
+        Subclasses whose injection is rebuilt per frame (the transition
+        model) return ``None``.
+        """
+        (out_force, pin_force, pi_forces,
+         ff_out_forces, ff_pin_forces) = self._injection_tables(group)
+        return (
+            pi_forces,
+            ff_out_forces,
+            ff_pin_forces,
+            self._kernel.make_injection(out_force, pin_force),
+        )
+
+    def _injection_plan(self, sample: Sequence[int]):
+        """``[(group, digested injection), ...]`` for one fault sample.
+
+        Memoized per committed-state epoch: grouping and force tables
+        depend only on the sample's membership and the divergence map,
+        both frozen between state changes — so the GA's many evaluate
+        calls against one committed state build them once.
+        """
+        if self._plan_epoch != self.state_epoch:
+            self._plan_cache.clear()
+            self._plan_epoch = self.state_epoch
+        key = tuple(sample)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = [
+                (group, self._group_injection(group))
+                for group in self._make_groups(sample)
+            ]
+            if len(self._plan_cache) >= 16:
+                # Fault sampling can stream distinct subsets; keep the
+                # memo bounded (the common full-sample key returns fast).
+                self._plan_cache.clear()
+            self._plan_cache[key] = plan
+        return plan
+
     # ------------------------------------------------------------------
     # Faulty-machine pass for one group
     # ------------------------------------------------------------------
@@ -464,6 +526,7 @@ class FaultSimulator:
         group: Sequence[int],
         trace: _GoodTrace,
         count_faulty_events: bool,
+        inj=None,
     ):
         """Simulate one fault group along the good trace.
 
@@ -475,8 +538,9 @@ class FaultSimulator:
         n = compiled.num_nodes
         n_slots = len(group)
         mask = (1 << n_slots) - 1
-        (out_force, pin_force, pi_forces,
-         ff_out_forces, ff_pin_forces) = self._injection_tables(group)
+        if inj is None:
+            inj = self._group_injection(group)
+        pi_forces, ff_out_forces, ff_pin_forces, injection = inj
 
         # Initialize faulty FF planes: good state broadcast + divergences.
         ff1 = [0] * compiled.num_ffs
@@ -506,11 +570,20 @@ class FaultSimulator:
         prop_per_frame: List[int] = []
         faulty_events = 0
         po_ids = compiled.po_ids
+        pi_ids = compiled.pi_ids
+        ff_ids = compiled.ff_ids
         ff_d_ids = compiled.ff_d_ids
+        eval_injection = self._kernel.eval_injection
+        # Hoist the (usually empty) per-flip-flop force probes out of
+        # the frame loop: list of (k, node id, f1, f0) rows to patch.
+        ff_out_rows = [
+            (k, ff_ids[k], f1, f0) for k, (f1, f0) in ff_out_forces.items()
+        ]
+        ff_pin_items = list(ff_pin_forces.items())
 
         for frame, (g1, g0) in enumerate(trace.node_planes):
             # Load primary inputs (good values broadcast, then PI faults).
-            for pi in compiled.pi_ids:
+            for pi in pi_ids:
                 v1[pi] = mask * g1[pi]
                 v0[pi] = mask * g0[pi]
             for node, f1, f0 in pi_forces:
@@ -521,19 +594,20 @@ class FaultSimulator:
                     v0[node] |= f0
                     v1[node] &= ~f0
             # Load faulty present state, applying stuck-Q faults.
-            for k, ff in enumerate(compiled.ff_ids):
+            for k, ff in enumerate(ff_ids):
+                v1[ff] = ff1[k]
+                v0[ff] = ff0[k]
+            for k, ff, f1, f0 in ff_out_rows:
                 a1, a0 = ff1[k], ff0[k]
-                if k in ff_out_forces:
-                    f1, f0 = ff_out_forces[k]
-                    if f1:
-                        a1 |= f1
-                        a0 &= ~f1
-                    if f0:
-                        a0 |= f0
-                        a1 &= ~f0
+                if f1:
+                    a1 |= f1
+                    a0 &= ~f1
+                if f0:
+                    a0 |= f0
+                    a1 &= ~f0
                 v1[ff], v0[ff] = a1, a0
 
-            eval_program_injected(compiled.program, v1, v0, mask, out_force, pin_force)
+            eval_injection(v1, v0, mask, injection)
 
             if count_faulty_events:
                 events = 0
@@ -625,9 +699,9 @@ class FaultSimulator:
         prop_sum = 0
         faulty_events = 0
         word_passes = 0
-        for group in self._make_groups(sample):
+        for group, inj in self._injection_plan(sample):
             det_word, _, g_prop_final, prop_frames, g_events, _, _ = self._run_group(
-                group, trace, count_faulty_events
+                group, trace, count_faulty_events, inj
             )
             word_passes += 1
             detected += det_word.bit_count()
@@ -722,7 +796,8 @@ class FaultSimulator:
 
         # Good machines: pattern-parallel, one slot per candidate.
         good = PatternParallelGood(
-            compiled, self.good_state, candidates, count_events=count_faulty_events
+            compiled, self.good_state, candidates,
+            count_events=count_faulty_events, kernel=self._kernel,
         )
 
         # Injection tables over the S sample slots, replicated per block.
@@ -748,6 +823,7 @@ class FaultSimulator:
                          for k, (f1, f0) in ff_out_forces_s.items()}
         ff_pin_forces = {k: (replicate(f1), replicate(f0))
                          for k, (f1, f0) in ff_pin_forces_s.items()}
+        injection = self._kernel.make_injection(out_force, pin_force)
 
         # Initialize faulty FF planes: per-candidate good broadcast (all
         # candidates start from the same committed state) + divergences.
@@ -812,7 +888,7 @@ class FaultSimulator:
                         a1 &= ~f0
                 v1[ff], v0[ff] = a1, a0
 
-            eval_program_injected(compiled.program, v1, v0, mask, out_force, pin_force)
+            self._kernel.eval_injection(v1, v0, mask, injection)
 
             if count_faulty_events:
                 # Expand good planes candidate-block-wise per node; this
@@ -912,9 +988,9 @@ class FaultSimulator:
         detections: List[Tuple[Fault, int]] = []
         new_divergence: Dict[int, Dict[int, int]] = {}
         detected_ids: List[int] = []
-        for group in self._make_groups(self.active):
+        for group, inj in self._injection_plan(self.active):
             det_word, det_frame, _, _, _, ff1, ff0 = self._run_group(
-                group, trace, False
+                group, trace, False, inj
             )
             final_good = (
                 trace.ff_states[-1] if trace.ff_states else self.good_state.ff_values

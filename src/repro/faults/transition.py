@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..circuit.gates import X
 from ..circuit.netlist import Circuit
-from ..sim.compile import CompiledCircuit, eval_program_injected
+from ..sim.compile import CompiledCircuit
 from .simulator import FaultSimulator, _GoodTrace
 
 
@@ -87,6 +87,7 @@ class TransitionFaultSimulator(FaultSimulator):
         collector=None,
         eval_jobs: int = 1,
         eval_cache: Optional[bool] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         if isinstance(circuit, CompiledCircuit):
             compiled = circuit
@@ -98,7 +99,7 @@ class TransitionFaultSimulator(FaultSimulator):
             faults = generate_transition_faults(compiled.circuit)
         super().__init__(compiled, faults=faults, word_width=word_width,  # type: ignore[arg-type]
                          collector=collector, eval_jobs=eval_jobs,
-                         eval_cache=eval_cache)
+                         eval_cache=eval_cache, kernel=kernel)
         #: Fault-free node values at the last committed frame (scalars);
         #: the excitation condition for the first frame of any new test.
         self.prev_good: List[int] = [X] * compiled.num_nodes
@@ -165,7 +166,12 @@ class TransitionFaultSimulator(FaultSimulator):
                     pi_forces.append((node, *entry))
         return out_force, pi_forces, ff_forces
 
-    def _run_group(self, group, trace: _GoodTrace, count_faulty_events: bool):
+    def _group_injection(self, group):
+        """No precomputed tables: forces depend on per-frame transitions."""
+        return None
+
+    def _run_group(self, group, trace: _GoodTrace, count_faulty_events: bool,
+                   inj=None):
         compiled = self.compiled
         n = compiled.num_nodes
         n_slots = len(group)
@@ -225,8 +231,11 @@ class TransitionFaultSimulator(FaultSimulator):
                         a1 &= ~f0
                 v1[ff], v0[ff] = a1, a0
 
-            eval_program_injected(
-                compiled.program, v1, v0, mask, out_force, {}
+            # Forces change every frame (conditional injection), so the
+            # injection tables are rebuilt per frame — cheap next to the
+            # pass itself, and the generated kernel is reused as-is.
+            self._kernel.eval_injection(
+                v1, v0, mask, self._kernel.make_injection(out_force, {})
             )
 
             if count_faulty_events:

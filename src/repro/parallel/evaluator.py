@@ -118,6 +118,7 @@ class ParallelEvaluator:
                         self.sim.compiled,
                         list(self.sim.faults),
                         self.sim.word_width,
+                        self.sim.kernel_name,
                     ),
                 )
             except OSError:

@@ -50,10 +50,22 @@ CandidateRow = Tuple[int, int, int, int, int, int, int]
 ShardResult = Tuple[List[CandidateRow], float]
 
 
-def init_worker(compiled: CompiledCircuit, faults, word_width: int) -> None:
-    """Pool initializer: build this process's resident simulator."""
+def init_worker(
+    compiled: CompiledCircuit,
+    faults,
+    word_width: int,
+    kernel: Optional[str] = None,
+) -> None:
+    """Pool initializer: build this process's resident simulator.
+
+    ``kernel`` is the parent simulator's *resolved* backend name, so
+    every worker compiles the same kernel and sharded results stay
+    bit-identical to the parent's serial pass.
+    """
     global _SIM
-    _SIM = FaultSimulator(compiled, faults=faults, word_width=word_width)
+    _SIM = FaultSimulator(
+        compiled, faults=faults, word_width=word_width, kernel=kernel
+    )
 
 
 def run_batch_shard(task: ShardTask) -> ShardResult:

@@ -1,5 +1,13 @@
 """Simulation substrate: compiled word-parallel and event-driven simulators."""
 
+from .codegen import (
+    DEFAULT_KERNEL,
+    KERNEL_NAMES,
+    SimKernel,
+    kernel_for,
+    kernel_source,
+    resolve_kernel_name,
+)
 from .compile import CompiledCircuit, compile_circuit, eval_program, eval_program_injected
 from .events import EventFrameResult, EventSimulator
 from .logic3 import FrameStats, GoodState, PatternSimulator, SerialSimulator, Vector
@@ -7,15 +15,21 @@ from .vcd import dump_vcd
 
 __all__ = [
     "CompiledCircuit",
+    "DEFAULT_KERNEL",
     "EventFrameResult",
     "EventSimulator",
     "FrameStats",
     "GoodState",
+    "KERNEL_NAMES",
     "PatternSimulator",
     "SerialSimulator",
+    "SimKernel",
     "Vector",
     "dump_vcd",
     "compile_circuit",
     "eval_program",
     "eval_program_injected",
+    "kernel_for",
+    "kernel_source",
+    "resolve_kernel_name",
 ]

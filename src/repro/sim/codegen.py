@@ -1,0 +1,413 @@
+"""Codegen simulation kernels: each circuit compiled to straight-line Python.
+
+The interpreter loops in :mod:`repro.sim.compile` pay per-gate dispatch
+on every pass: tuple unpacking, opcode branching and an inner fanin loop
+per gate per frame.  PROOFS and the compiled-simulation line of work it
+builds on (see PAPERS.md) get their speed from translating the levelized
+netlist into straight-line code evaluated without any dispatch.  This
+module does the same for the bit-plane programs of
+:class:`~repro.sim.compile.CompiledCircuit`:
+
+* the **good-machine kernel** is a generated function with the same
+  contract as :func:`~repro.sim.compile.eval_program` — one pair of
+  bitwise expressions per gate in levelized order, fanin loops unrolled
+  and the ``invert`` flag folded into the expression, node planes
+  register-allocated into Python locals and spilled back into the
+  ``v1``/``v0`` lists with a single bulk list assignment per plane;
+* the **injected kernel** is *parameterized*: it reads per-run
+  ``out_force``/``pin_force`` words from dense per-node tables, so one
+  compiled function serves every injection signature — fault groups
+  never trigger a recompile.  Unforced gates (the common case) pay one
+  table load and one branch on top of the straight-line expressions;
+  forced gates take a generated branch that applies the output and
+  per-pin force words inline, replicating the interpreter's forced
+  branch bit for bit.
+
+Generated kernels are **bit-identical** to the interpreter under the
+bit-plane contract (``v1[i] & v0[i] == 0`` and both planes subsets of
+``mask`` — what every caller in this repo maintains): the only algebraic
+liberty taken is dropping ``mask &`` where the operands are already
+subsets of ``mask``.
+
+Kernels are built once per circuit per process and held in a small
+keyed cache (good-machine, injected and wide-word batch passes all
+share the two generated functions); building is metered with the
+``codegen.compile.seconds`` / ``codegen.kernels.built`` counters.  Any
+failure to generate, compile or ``exec`` a kernel falls back to the
+interpreter automatically (``codegen.fallbacks``), so ``codegen`` is a
+safe default everywhere.
+
+Backend selection: :func:`resolve_kernel_name` resolves an explicit
+``"interp"``/``"codegen"`` request, else the ``REPRO_SIM_KERNEL``
+environment variable, else :data:`DEFAULT_KERNEL` (``"codegen"``).  See
+docs/ARCHITECTURE.md ("Simulation kernels") and docs/PERFORMANCE.md for
+the measured speedups.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+import weakref
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .compile import (
+    OP_AND,
+    OP_COPY,
+    OP_OR,
+    OP_XOR,
+    CompiledCircuit,
+    eval_program,
+    eval_program_injected,
+)
+
+#: The default kernel backend (overridable via ``REPRO_SIM_KERNEL``).
+DEFAULT_KERNEL = "codegen"
+
+#: Recognized backend names.
+KERNEL_NAMES = ("interp", "codegen")
+
+#: Environment variable consulted when no explicit backend is requested.
+KERNEL_ENV = "REPRO_SIM_KERNEL"
+
+
+def resolve_kernel_name(name: Optional[str] = None) -> str:
+    """Resolve a kernel request to a concrete backend name.
+
+    Order: explicit ``name`` > ``REPRO_SIM_KERNEL`` environment variable
+    > :data:`DEFAULT_KERNEL`.  ``None``/``""``/``"auto"`` mean "no
+    explicit request".  Unknown names raise ``ValueError``.
+    """
+    if name in KERNEL_NAMES:
+        return name  # type: ignore[return-value]
+    if name not in (None, "", "auto"):
+        raise ValueError(
+            f"unknown simulation kernel {name!r}; choose one of {KERNEL_NAMES}"
+        )
+    env = os.environ.get(KERNEL_ENV, "").strip()
+    if env in KERNEL_NAMES:
+        return env
+    if env:
+        raise ValueError(
+            f"unknown simulation kernel {env!r} in ${KERNEL_ENV}; "
+            f"choose one of {KERNEL_NAMES}"
+        )
+    return DEFAULT_KERNEL
+
+
+class SimKernel:
+    """One circuit's evaluation backend: three bound callables.
+
+    * ``eval(v1, v0, mask)`` — the good-machine pass; same contract as
+      :func:`~repro.sim.compile.eval_program` with the program bound.
+    * ``make_injection(out_force, pin_force)`` — prepare one fault
+      group's injection tables in whatever form ``eval_injection``
+      wants.  Build it once per group (or batch) pass, outside the
+      frame loop.
+    * ``eval_injection(v1, v0, mask, injection)`` — the injected pass;
+      same contract as :func:`~repro.sim.compile.eval_program_injected`
+      with the program bound and the force dicts pre-digested.
+
+    ``name`` is the backend actually running (after any fallback);
+    ``requested`` is what the caller asked for.
+    """
+
+    __slots__ = ("name", "requested", "eval", "make_injection", "eval_injection")
+
+    def __init__(
+        self,
+        name: str,
+        requested: str,
+        eval_fn: Callable[[List[int], List[int], int], None],
+        make_injection: Callable[[Dict, Dict], object],
+        eval_injection: Callable[[List[int], List[int], int, object], None],
+    ) -> None:
+        self.name = name
+        self.requested = requested
+        self.eval = eval_fn
+        self.make_injection = make_injection
+        self.eval_injection = eval_injection
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimKernel(name={self.name!r}, requested={self.requested!r})"
+
+
+# ----------------------------------------------------------------------
+# Source generation
+# ----------------------------------------------------------------------
+
+
+def _gate_exprs(opcode: int, ones: List[str], zeros: List[str]) -> Tuple[List[str], str, str]:
+    """Pre-invert (v1, v0) expressions for one gate over named locals.
+
+    ``ones``/``zeros`` are the per-fanin 1-plane/0-plane local names.
+    Returns ``(setup_lines, expr1, expr0)``; ``setup_lines`` holds the
+    pairwise-fold temporaries a multi-input XOR needs (its plane
+    expressions reference each other, so nesting would duplicate
+    subexpressions exponentially).
+    """
+    if opcode == OP_AND:
+        return [], " & ".join(ones), " | ".join(zeros)
+    if opcode == OP_OR:
+        return [], " | ".join(ones), " & ".join(zeros)
+    if opcode == OP_COPY:
+        return [], ones[0], zeros[0]
+    # OP_XOR: fold pairwise exactly like the interpreter.
+    x1, x0 = ones[0], zeros[0]
+    setup: List[str] = []
+    for y1, y0 in zip(ones[1:-1], zeros[1:-1]):
+        setup.append(
+            f"_t1, _t0 = ({x1} & {y0}) | ({x0} & {y1}), "
+            f"({x1} & {y1}) | ({x0} & {y0})"
+        )
+        x1, x0 = "_t1", "_t0"
+    y1, y0 = ones[-1], zeros[-1]
+    return (
+        setup,
+        f"({x1} & {y0}) | ({x0} & {y1})",
+        f"({x1} & {y1}) | ({x0} & {y0})",
+    )
+
+
+def generate_source(compiled: CompiledCircuit, injected: bool) -> str:
+    """Generate the straight-line kernel source for one circuit.
+
+    With ``injected=False`` the function is ``_kernel(v1, v0, M)``;
+    with ``injected=True`` it is ``_kernel_injected(v1, v0, M, _FX)``
+    where ``_FX`` is one dense per-node table (``None`` for unforced
+    gates — the overwhelmingly common case, costing one load and one
+    branch — or the combined ``(pins, f1, f0)`` entry built by
+    :func:`make_force_tables`).  Forced gates apply the output and
+    per-pin force words inline.
+    """
+    n = compiled.num_nodes
+    written = {instr[0] for instr in compiled.program}
+    lines: List[str] = []
+    if injected:
+        lines.append("def _kernel_injected(v1, v0, M, _FX):")
+    else:
+        lines.append("def _kernel(v1, v0, M):")
+    # Register allocation: load every node the program does not write
+    # (primary inputs, flip-flop outputs, isolated nodes) into locals so
+    # the final spill can rebuild both planes in full.
+    for i in range(n):
+        if i not in written:
+            lines.append(f"    a{i} = v1[{i}]; b{i} = v0[{i}]")
+    for out, opcode, invert, fanins in compiled.program:
+        ones = [f"a{f}" for f in fanins]
+        zeros = [f"b{f}" for f in fanins]
+        setup, e1, e0 = _gate_exprs(opcode, ones, zeros)
+        if invert:
+            e1, e0 = e0, e1
+        if not injected:
+            for stmt in setup:
+                lines.append(f"    {stmt}")
+            lines.append(f"    a{out} = {e1}")
+            lines.append(f"    b{out} = {e0}")
+            continue
+        lines.append(f"    _e = _FX[{out}]")
+        lines.append("    if _e is None:")
+        for stmt in setup:
+            lines.append(f"        {stmt}")
+        lines.append(f"        a{out} = {e1}")
+        lines.append(f"        b{out} = {e0}")
+        lines.append("    else:")
+        lines.append("        _p, _f1, _f0 = _e")
+        lines.append("        if _p is None:")
+        for stmt in setup:
+            lines.append(f"            {stmt}")
+        lines.append(f"            a{out} = (({e1}) | _f1) & ~_f0")
+        lines.append(f"            b{out} = (({e0}) & ~_f1) | _f0")
+        lines.append("        else:")
+        # Pin-forced gate, fully inline: per-fanin force application
+        # (the exact combined form of the interpreter's ``_force``)
+        # into fresh locals, then the same gate expressions over them.
+        forced_ones = []
+        forced_zeros = []
+        for pin, (one, zero) in enumerate(zip(ones, zeros)):
+            lines.append(f"            _q = _p[{pin}]")
+            lines.append("            if _q is None:")
+            lines.append(f"                _i{pin} = {one}; _j{pin} = {zero}")
+            lines.append("            else:")
+            lines.append("                _q1, _q0 = _q")
+            lines.append(
+                f"                _i{pin} = ({one} | _q1) & ~_q0; "
+                f"_j{pin} = ({zero} & ~_q1) | _q0"
+            )
+            forced_ones.append(f"_i{pin}")
+            forced_zeros.append(f"_j{pin}")
+        fsetup, fe1, fe0 = _gate_exprs(opcode, forced_ones, forced_zeros)
+        if invert:
+            fe1, fe0 = fe0, fe1
+        for stmt in fsetup:
+            lines.append(f"            {stmt}")
+        lines.append(f"            a{out} = (({fe1}) | _f1) & ~_f0")
+        lines.append(f"            b{out} = (({fe0}) & ~_f1) | _f0")
+    spill1 = ", ".join(f"a{i}" for i in range(n))
+    spill0 = ", ".join(f"b{i}" for i in range(n))
+    lines.append(f"    v1[:] = [{spill1}]")
+    lines.append(f"    v0[:] = [{spill0}]")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def make_force_tables(
+    num_nodes: int, out_force: Dict, pin_force: Dict, arity: Optional[Dict[int, int]] = None
+) -> List:
+    """Digest the interpreter's force dicts into one dense per-node table.
+
+    Each forced node's row is ``(pins, f1, f0)``: ``pins`` is a
+    per-fanin list of ``None`` / ``(f1, f0)`` force pairs (``None`` in
+    the row when only the output is forced — the generated kernel then
+    skips the per-pin probes), and ``f1``/``f0`` are the output-force
+    words (0 when only pins are forced).  Unforced nodes hold ``None``.
+    ``arity`` maps gate node id to fanin count (sizes the pin lists so
+    the kernel can index them directly).
+    """
+    fx: List = [None] * num_nodes
+    for node, (f1, f0) in out_force.items():
+        fx[node] = (None, f1, f0)
+    for node, entries in pin_force.items():
+        width = arity.get(node) if arity is not None else None
+        if width is None:
+            width = max(pin for pin, _f1, _f0 in entries) + 1
+        pins: List = [None] * width
+        for pin, f1, f0 in entries:
+            pins[pin] = (f1, f0)
+        prev = fx[node]
+        if prev is None:
+            fx[node] = (pins, 0, 0)
+        else:
+            fx[node] = (pins, prev[1], prev[2])
+    return fx
+
+
+# ----------------------------------------------------------------------
+# Build + cache
+# ----------------------------------------------------------------------
+
+#: Kernel cache: ``id(compiled) -> (weakref, {"good": fn, "injected": fn})``.
+#: Keyed by identity (``CompiledCircuit`` holds an unhashable ``Circuit``)
+#: and validated against the weakref so a recycled id can never alias; the
+#: weakref callback evicts entries when a circuit is collected.
+_CACHE: Dict[int, Tuple["weakref.ref", Dict[str, Callable]]] = {}
+
+
+def clear_kernel_cache() -> None:
+    """Drop every cached generated kernel (tests / memory pressure)."""
+    _CACHE.clear()
+
+
+def _build_kernels(compiled: CompiledCircuit, collector) -> Dict[str, Callable]:
+    """Generate, compile and ``exec`` both kernel functions for a circuit."""
+    t0 = time.perf_counter()
+    label = compiled.circuit.name or "circuit"
+    namespace: Dict[str, object] = {}
+    good_src = generate_source(compiled, injected=False)
+    exec(compile(good_src, f"<codegen:{label}:good>", "exec"), namespace)
+    injected_src = generate_source(compiled, injected=True)
+    exec(compile(injected_src, f"<codegen:{label}:injected>", "exec"), namespace)
+    fns = {
+        "good": namespace["_kernel"],
+        "injected": namespace["_kernel_injected"],
+        "good_source": good_src,
+        "injected_source": injected_src,
+    }
+    if collector.enabled:
+        collector.inc("codegen.compile.seconds", time.perf_counter() - t0)
+        collector.inc("codegen.kernels.built", 2)
+    return fns  # type: ignore[return-value]
+
+
+def _kernels_for(compiled: CompiledCircuit, collector) -> Dict[str, Callable]:
+    """The cached generated kernels for one compiled circuit."""
+    key = id(compiled)
+    entry = _CACHE.get(key)
+    if entry is not None and entry[0]() is compiled:
+        return entry[1]
+    fns = _build_kernels(compiled, collector)
+    ref = weakref.ref(compiled, lambda _r, _k=key: _CACHE.pop(_k, None))
+    _CACHE[key] = (ref, fns)
+    return fns
+
+
+def _interp_kernel(compiled: CompiledCircuit, requested: str) -> SimKernel:
+    """The reference interpreter wrapped in the kernel interface."""
+    program = compiled.program
+
+    def make_injection(out_force: Dict, pin_force: Dict):
+        return (out_force, pin_force)
+
+    def eval_injection(v1, v0, mask, injection):
+        out_force, pin_force = injection
+        eval_program_injected(program, v1, v0, mask, out_force, pin_force)
+
+    return SimKernel(
+        name="interp",
+        requested=requested,
+        eval_fn=partial(eval_program, program),
+        make_injection=make_injection,
+        eval_injection=eval_injection,
+    )
+
+
+def kernel_for(
+    compiled: CompiledCircuit,
+    name: Optional[str] = None,
+    collector=None,
+) -> SimKernel:
+    """Resolve and build the simulation kernel for one circuit.
+
+    ``name`` follows :func:`resolve_kernel_name`.  A ``codegen`` request
+    that fails to build (pathological circuit, interpreter limit, …)
+    falls back to the interpreter with a warning and the
+    ``codegen.fallbacks`` counter — never an exception.
+    """
+    if collector is None:
+        from ..telemetry.collector import get_collector
+
+        collector = get_collector()
+    requested = resolve_kernel_name(name)
+    if requested == "interp":
+        return _interp_kernel(compiled, requested)
+    try:
+        fns = _kernels_for(compiled, collector)
+        good = fns["good"]
+        injected = fns["injected"]
+    except Exception as exc:  # automatic interpreter fallback
+        if collector.enabled:
+            collector.inc("codegen.fallbacks")
+        warnings.warn(
+            f"codegen kernel build failed for "
+            f"{compiled.circuit.name or 'circuit'!r} ({exc!r}); "
+            "falling back to the interpreter",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _interp_kernel(compiled, requested)
+    num_nodes = compiled.num_nodes
+    arity = {instr[0]: len(instr[3]) for instr in compiled.program}
+
+    def make_injection(out_force: Dict, pin_force: Dict):
+        return make_force_tables(num_nodes, out_force, pin_force, arity)
+
+    def eval_injection(v1, v0, mask, injection):
+        injected(v1, v0, mask, injection)
+
+    return SimKernel(
+        name="codegen",
+        requested=requested,
+        eval_fn=good,
+        make_injection=make_injection,
+        eval_injection=eval_injection,
+    )
+
+
+def kernel_source(compiled: CompiledCircuit, variant: str = "good") -> str:
+    """The generated source of a cached kernel (introspection/tests)."""
+    from ..telemetry.collector import get_collector
+
+    fns = _kernels_for(compiled, get_collector())
+    return fns[f"{variant}_source"]  # type: ignore[return-value]

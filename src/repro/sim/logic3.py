@@ -19,7 +19,8 @@ from typing import List, Optional, Sequence, Union
 
 from ..circuit.gates import X
 from ..circuit.netlist import Circuit
-from .compile import CompiledCircuit, compile_circuit, eval_program
+from .codegen import kernel_for
+from .compile import CompiledCircuit, compile_circuit
 
 Vector = Sequence[int]  # one scalar 0/1/X per primary input
 
@@ -84,6 +85,7 @@ class PatternSimulator:
         compiled: Union[CompiledCircuit, Circuit],
         n_slots: int = 1,
         collector=None,
+        kernel: Optional[str] = None,
     ) -> None:
         if not isinstance(compiled, CompiledCircuit):
             compiled = compile_circuit(compiled)
@@ -92,6 +94,8 @@ class PatternSimulator:
         from ..telemetry.collector import get_collector
 
         self.collector = collector if collector is not None else get_collector()
+        self._kernel = kernel_for(compiled, kernel, collector=self.collector)
+        self.kernel_name = self._kernel.name
         self.compiled = compiled
         self.n_slots = n_slots
         self.mask = (1 << n_slots) - 1
@@ -159,7 +163,7 @@ class PatternSimulator:
         for k, ff in enumerate(compiled.ff_ids):
             v1[ff], v0[ff] = self.ff1[k], self.ff0[k]
 
-        eval_program(compiled.program, v1, v0, self.mask)
+        self._kernel.eval(v1, v0, self.mask)
 
         # Capture next state from the D-input nodes.
         set_counts = [0] * n_slots

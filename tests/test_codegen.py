@@ -1,0 +1,327 @@
+"""Codegen kernel suite: generated straight-line kernels vs the interpreter.
+
+The contract under test (ISSUE: codegen simulation kernels): the
+generated kernels must be *bit-identical* to the reference interpreter
+in :mod:`repro.sim.compile` — at the plane level for random inputs and
+injections, at the ``CandidateEval`` level through
+:class:`~repro.faults.simulator.FaultSimulator`, and at the final
+test-set level through full GATEST runs, serial and sharded alike —
+because codegen is the default backend everywhere and must never change
+a result, only the wall clock.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuit import c17, s27, synthesize_named
+from repro.core import GaTestGenerator, TestGenConfig
+from repro.faults import FaultSimulator
+from repro.faults.transition import TransitionFaultSimulator
+from repro.sim import compile_circuit, kernel_for, kernel_source
+from repro.sim.codegen import (
+    DEFAULT_KERNEL,
+    clear_kernel_cache,
+    generate_source,
+    make_force_tables,
+    resolve_kernel_name,
+)
+from repro.sim.compile import eval_program, eval_program_injected
+from repro.telemetry import TelemetryCollector
+
+from tests.conftest import random_vectors
+
+
+def _sweep_circuits():
+    """Bundled netlists plus random synthesized circuits (varied seeds)."""
+    return [
+        s27(),
+        c17(),
+        synthesize_named("s298", seed=3, scale=0.15),
+        synthesize_named("s386", seed=5, scale=0.2),
+        synthesize_named("s526", seed=11, scale=0.15),
+    ]
+
+
+def _random_planes(rng, n, width):
+    v1 = [rng.getrandbits(width) for _ in range(n)]
+    v0 = [rng.getrandbits(width) & ~v1[i] for i in range(n)]
+    return v1, v0
+
+
+def _random_forces(rng, compiled, width):
+    out_force, pin_force = {}, {}
+    for out, _opcode, _invert, fanins in compiled.program:
+        if rng.random() < 0.2:
+            f1 = rng.getrandbits(width)
+            out_force[out] = (f1, rng.getrandbits(width) & ~f1)
+        if fanins and rng.random() < 0.15:
+            entries = []
+            for pin in rng.sample(range(len(fanins)),
+                                  rng.randint(1, len(fanins))):
+                f1 = rng.getrandbits(width)
+                entries.append((pin, f1, rng.getrandbits(width) & ~f1))
+            pin_force[out] = entries
+    return out_force, pin_force
+
+
+class TestGeneratedSource:
+    def test_good_kernel_is_straight_line(self, s27_circuit):
+        """No loops, no branches: the entire point of the translation."""
+        compiled = compile_circuit(s27_circuit)
+        src = kernel_source(compiled, "good")
+        assert "for " not in src
+        assert "if " not in src
+        assert "while " not in src
+        assert src.startswith("def _kernel(v1, v0, M):")
+
+    def test_injected_kernel_probes_force_table(self, s27_circuit):
+        compiled = compile_circuit(s27_circuit)
+        src = kernel_source(compiled, "injected")
+        assert src.startswith("def _kernel_injected(v1, v0, M, _FX):")
+        assert "for " not in src  # branches on table rows, never loops
+        assert "_FX[" in src
+
+    def test_generate_source_compiles_for_every_circuit(self):
+        for circuit in _sweep_circuits():
+            compiled = compile_circuit(circuit)
+            for injected in (False, True):
+                compile(generate_source(compiled, injected), "<test>", "exec")
+
+    def test_kernels_cached_per_circuit(self, s27_circuit):
+        compiled = compile_circuit(s27_circuit)
+        a = kernel_for(compiled, "codegen")
+        b = kernel_for(compiled, "codegen")
+        assert a.eval is b.eval  # same generated function object
+        clear_kernel_cache()
+        c = kernel_for(compiled, "codegen")
+        assert c.eval is not a.eval
+
+
+class TestPlaneEquivalence:
+    """Property-style sweep: random planes and injections, every circuit."""
+
+    def test_good_pass_matches_interpreter(self):
+        rng = random.Random(101)
+        for circuit in _sweep_circuits():
+            compiled = compile_circuit(circuit)
+            kernel = kernel_for(compiled, "codegen")
+            assert kernel.name == "codegen"
+            for _ in range(12):
+                width = rng.choice([1, 8, 64, 200])
+                v1, v0 = _random_planes(rng, compiled.num_nodes, width)
+                r1, r0 = list(v1), list(v0)
+                eval_program(compiled.program, r1, r0, (1 << width) - 1)
+                kernel.eval(v1, v0, (1 << width) - 1)
+                assert (v1, v0) == (r1, r0), circuit.name
+
+    def test_injected_pass_matches_interpreter(self):
+        rng = random.Random(202)
+        for circuit in _sweep_circuits():
+            compiled = compile_circuit(circuit)
+            kernel = kernel_for(compiled, "codegen")
+            for _ in range(12):
+                width = rng.choice([1, 8, 64, 200])
+                mask = (1 << width) - 1
+                out_force, pin_force = _random_forces(rng, compiled, width)
+                v1, v0 = _random_planes(rng, compiled.num_nodes, width)
+                r1, r0 = list(v1), list(v0)
+                eval_program_injected(
+                    compiled.program, r1, r0, mask, out_force, pin_force
+                )
+                kernel.eval_injection(
+                    v1, v0, mask, kernel.make_injection(out_force, pin_force)
+                )
+                assert (v1, v0) == (r1, r0), circuit.name
+
+    def test_force_tables_shape(self):
+        fx = make_force_tables(
+            4, {1: (0b10, 0b01)}, {2: [(1, 0b1, 0b0)]}, {2: 3}
+        )
+        assert fx[0] is None and fx[3] is None
+        assert fx[1] == (None, 0b10, 0b01)
+        pins, f1, f0 = fx[2]
+        assert (f1, f0) == (0, 0)
+        assert pins == [None, (0b1, 0b0), None]  # sized to the gate arity
+
+
+class TestSimulatorEquivalence:
+    """FaultSimulator observables must not depend on the kernel."""
+
+    def test_candidate_evals_and_commits_identical(self):
+        for circuit in _sweep_circuits():
+            sims = {
+                name: FaultSimulator(circuit, kernel=name)
+                for name in ("interp", "codegen")
+            }
+            assert sims["codegen"].kernel_name == "codegen"
+            assert sims["interp"].kernel_name == "interp"
+            for round_ in range(3):
+                vectors = random_vectors(circuit, 3, seed=round_)
+                evals = {
+                    name: sim.evaluate(vectors, count_faulty_events=True)
+                    for name, sim in sims.items()
+                }
+                assert evals["codegen"] == evals["interp"], circuit.name
+                commits = {
+                    name: sim.commit(vectors) for name, sim in sims.items()
+                }
+                assert commits["codegen"] == commits["interp"], circuit.name
+                assert sims["codegen"].detected_count == sims["interp"].detected_count
+
+    def test_batch_path_identical(self):
+        circuit = synthesize_named("s298", seed=3, scale=0.15)
+        sims = {
+            name: FaultSimulator(circuit, kernel=name)
+            for name in ("interp", "codegen")
+        }
+        warm = random_vectors(circuit, 4, seed=2)
+        for sim in sims.values():
+            sim.commit(warm)
+        candidates = [[v] for v in random_vectors(circuit, 12, seed=3)]
+        assert (
+            sims["codegen"].evaluate_batch(candidates)
+            == sims["interp"].evaluate_batch(candidates)
+        )
+
+    def test_transition_model_identical(self):
+        circuit = synthesize_named("s298", seed=3, scale=0.15)
+        sims = {
+            name: TransitionFaultSimulator(circuit, kernel=name)
+            for name in ("interp", "codegen")
+        }
+        for round_ in range(3):
+            vectors = random_vectors(circuit, 3, seed=round_)
+            evals = {name: sim.evaluate(vectors) for name, sim in sims.items()}
+            assert evals["codegen"] == evals["interp"]
+            for sim in sims.values():
+                sim.commit(vectors)
+            assert sims["codegen"].detected_count == sims["interp"].detected_count
+
+    def test_final_test_sets_identical(self):
+        for circuit in _sweep_circuits()[:3]:
+            runs = {
+                name: GaTestGenerator(
+                    circuit, TestGenConfig(seed=5, sim_kernel=name)
+                ).run()
+                for name in ("interp", "codegen")
+            }
+            assert runs["codegen"].test_sequence == runs["interp"].test_sequence
+            assert runs["codegen"].detected == runs["interp"].detected
+            assert (
+                runs["codegen"].ga_evaluations == runs["interp"].ga_evaluations
+            )
+
+    def test_sharded_evaluation_identical(self, monkeypatch):
+        """eval_jobs=2 through the real pool (forced on 1-CPU hosts):
+        workers rebuild the parent's kernel, results stay bit-identical."""
+        monkeypatch.setenv("REPRO_EVAL_FORCE_SHARD", "1")
+        circuit = synthesize_named("s298", seed=3, scale=0.15)
+        serial = FaultSimulator(circuit, kernel="codegen")
+        sharded = FaultSimulator(
+            circuit, kernel="codegen", eval_jobs=2, eval_cache=False
+        )
+        warm = random_vectors(circuit, 4, seed=2)
+        serial.commit(warm)
+        sharded.commit(warm)
+        for seed in (3, 4):
+            vectors = random_vectors(circuit, 2, seed=seed)
+            assert sharded.evaluate(vectors) == serial.evaluate(vectors)
+        sharded.close()
+
+    def test_sharded_run_identical_across_kernels(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_FORCE_SHARD", "1")
+        circuit = s27()
+        config = TestGenConfig(seed=5, max_vectors=8)
+        baseline = GaTestGenerator(circuit, config).run()
+        for name in ("interp", "codegen"):
+            from dataclasses import replace
+
+            sharded = GaTestGenerator(
+                circuit, replace(config, sim_kernel=name, eval_jobs=2)
+            ).run()
+            assert sharded.test_sequence == baseline.test_sequence
+            assert sharded.detected == baseline.detected
+
+
+class TestKernelSelection:
+    def test_resolve_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "interp")
+        assert resolve_kernel_name("codegen") == "codegen"
+
+    def test_resolve_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "interp")
+        for no_request in (None, "", "auto"):
+            assert resolve_kernel_name(no_request) == "interp"
+
+    def test_resolve_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_KERNEL", raising=False)
+        assert resolve_kernel_name(None) == DEFAULT_KERNEL == "codegen"
+
+    def test_resolve_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown simulation kernel"):
+            resolve_kernel_name("turbo")
+
+    def test_resolve_rejects_unknown_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "turbo")
+        with pytest.raises(ValueError, match="REPRO_SIM_KERNEL"):
+            resolve_kernel_name(None)
+
+    def test_config_validates_sim_kernel(self):
+        with pytest.raises(ValueError, match="unknown simulation kernel"):
+            TestGenConfig(sim_kernel="turbo")
+        assert TestGenConfig(sim_kernel="interp").sim_kernel == "interp"
+
+    def test_build_failure_falls_back_to_interpreter(
+        self, s27_circuit, monkeypatch
+    ):
+        """A codegen build failure must degrade, never raise."""
+        import repro.sim.codegen as codegen
+
+        def boom(compiled, collector):
+            raise RuntimeError("synthetic build failure")
+
+        monkeypatch.setattr(codegen, "_build_kernels", boom)
+        clear_kernel_cache()
+        compiled = compile_circuit(s27_circuit)
+        collector = TelemetryCollector()
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            kernel = kernel_for(compiled, "codegen", collector=collector)
+        assert kernel.name == "interp"
+        assert kernel.requested == "codegen"
+        assert collector.counters["codegen.fallbacks"] == 1
+        # ... and the fallback kernel still works end to end.
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            sim = FaultSimulator(
+                compiled, kernel="codegen", collector=collector
+            )
+        assert sim.kernel_name == "interp"
+        sim.commit(random_vectors(s27_circuit, 4, seed=1))
+
+
+class TestKernelTelemetry:
+    def test_build_and_selection_counters(self, s27_circuit):
+        clear_kernel_cache()
+        collector = TelemetryCollector()
+        compiled = compile_circuit(s27_circuit)
+        sim = FaultSimulator(compiled, kernel="codegen", collector=collector)
+        assert sim.kernel_name == "codegen"
+        counters = collector.counters
+        assert counters["codegen.kernels.built"] == 2
+        assert counters["codegen.compile.seconds"] > 0
+        assert counters["sim.kernel.codegen"] == 1
+        # A second simulator on the same circuit reuses the cache.
+        FaultSimulator(compiled, kernel="codegen", collector=collector)
+        assert collector.counters["codegen.kernels.built"] == 2
+        assert collector.counters["sim.kernel.codegen"] == 2
+
+    def test_interp_selection_counter(self, s27_circuit):
+        collector = TelemetryCollector()
+        sim = FaultSimulator(
+            compile_circuit(s27_circuit), kernel="interp", collector=collector
+        )
+        assert sim.kernel_name == "interp"
+        assert collector.counters["sim.kernel.interp"] == 1
+        assert "codegen.kernels.built" not in collector.counters

@@ -333,30 +333,47 @@ class TestDisabledPath:
         """Benchmark-style guard: instrumentation with the no-op
         collector must not change ``FaultSimulator.evaluate`` throughput
         by more than 5%.  The enabled collector path is measured as the
-        upper bound — the null path does strictly less work — and both
-        are taken as min-of-repeats to shed scheduler noise.
+        upper bound — the null path does strictly less work.
+
+        Timing discipline (this test used to flake on loaded CI hosts,
+        where throughput drifts 20%+ between measurement blocks under
+        frequency scaling): the two paths are timed *interleaved* in
+        back-to-back pairs so host drift hits both sides alike, the
+        slowdown is the median of the per-pair best-of-3 ratios, and a
+        measurement outside the contract is retried once before it
+        fails — a genuine regression fails both rounds, a noisy run
+        does not.  The 5% contract itself is unchanged.
         """
         rng = random.Random(7)
         circuit = s27()
         vectors = [[rng.randint(0, 1) for _ in range(4)] for _ in range(8)]
 
-        def throughput(collector):
-            fsim = FaultSimulator(circuit, collector=collector)
-            calls = 40
+        def measured_slowdown() -> float:
+            sims = {
+                "disabled": FaultSimulator(circuit, collector=NullCollector()),
+                "enabled": FaultSimulator(
+                    circuit, collector=TelemetryCollector()
+                ),
+            }
 
-            def timed_loop() -> float:
+            def timed_loop(fsim) -> float:
                 t0 = time.perf_counter()
-                for _ in range(calls):
+                for _ in range(40):
                     fsim.evaluate(vectors)
                 return time.perf_counter() - t0
 
-            timed_loop()  # warm-up
-            best = min(timed_loop() for _ in range(5))
-            return calls / best
+            for fsim in sims.values():
+                timed_loop(fsim)  # warm-up
+            ratios = sorted(
+                min(timed_loop(sims["disabled"]) for _ in range(3))
+                / min(timed_loop(sims["enabled"]) for _ in range(3))
+                for _ in range(5)
+            )
+            return 1.0 / ratios[len(ratios) // 2]
 
-        disabled = throughput(NullCollector())
-        enabled = throughput(TelemetryCollector())
-        slowdown = disabled / enabled
+        slowdown = measured_slowdown()
+        if abs(slowdown - 1.0) > 0.05:  # one retry sheds transient load
+            slowdown = measured_slowdown()
         assert slowdown == pytest.approx(1.0, abs=0.05), (
             f"telemetry overhead too high: enabled path is "
             f"{(slowdown - 1) * 100:.1f}% slower than the no-op path"
