@@ -17,11 +17,11 @@ the installed default collector.
 
 from __future__ import annotations
 
-import json
 import os
 
 import pytest
 
+from repro.atomicio import atomic_write_json
 from repro.harness.runner import compiled_circuit_for
 from repro.telemetry import TelemetryCollector, install
 
@@ -65,9 +65,7 @@ def bench_json():
     path = os.environ.get("REPRO_BENCH_JSON")
     if not path or not _BENCH_RECORDS:
         return
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(_BENCH_RECORDS, fh, indent=2)
-        fh.write("\n")
+    atomic_write_json(path, _BENCH_RECORDS, indent=2)
     print(f"\n[bench] wrote {len(_BENCH_RECORDS)} records to {path}")
 
 

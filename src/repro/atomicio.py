@@ -1,0 +1,80 @@
+"""Crash-safe file writes: tmp + fsync + rename.
+
+Every artifact the project persists (test-vector files, JSONL traces,
+benchmark records, run checkpoints) goes through this one helper, so an
+interrupt — SIGKILL, OOM, power loss — can never leave a torn,
+half-written file behind: readers see either the complete previous
+contents or the complete new contents, nothing in between.
+
+The recipe is the standard POSIX one: write to a temporary file in the
+*same directory* (``os.replace`` is only atomic within one filesystem),
+flush and ``fsync`` the file so the data is durable before the rename,
+then ``os.replace`` onto the destination.  The directory entry is also
+fsynced on a best-effort basis so the rename itself survives a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator, Union
+
+PathLike = Union[str, Path]
+
+
+@contextmanager
+def atomic_open(path: PathLike, encoding: str = "utf-8") -> Iterator[IO[str]]:
+    """Open a text stream that atomically replaces ``path`` on success.
+
+    The stream writes to ``<path>.tmp.<pid>`` in the destination's
+    directory.  On a clean exit the temporary is fsynced and renamed
+    over ``path``; on any exception it is removed and ``path`` is left
+    untouched.
+    """
+    target = Path(path)
+    tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+    fh = open(tmp, "w", encoding=encoding)
+    try:
+        yield fh
+        fh.flush()
+        os.fsync(fh.fileno())
+        fh.close()
+        os.replace(tmp, target)
+        _fsync_dir(target.parent)
+    except BaseException:
+        fh.close()
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry to disk (best effort; not all platforms
+    allow opening directories)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``text``."""
+    with atomic_open(path, encoding=encoding) as fh:
+        fh.write(text)
+
+
+def atomic_write_json(path: PathLike, obj, **dumps_kwargs) -> None:
+    """Atomically replace ``path`` with ``obj`` serialized as JSON."""
+    with atomic_open(path) as fh:
+        json.dump(obj, fh, **dumps_kwargs)
+        fh.write("\n")

@@ -17,25 +17,42 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
+from ..atomicio import atomic_write_text
 from .gates import BENCH_NAMES, GateType
 from .netlist import Circuit, CircuitError
 
 _IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
-_GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*(.*?)\s*\)$")
+_GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z][A-Za-z0-9_]*)\s*\(\s*(.*?)\s*\)$")
 
 
 class BenchParseError(CircuitError):
-    """Raised on malformed ``.bench`` input, with a line number."""
+    """Raised on malformed ``.bench`` input.
 
-    def __init__(self, lineno: int, message: str) -> None:
-        super().__init__(f"line {lineno}: {message}")
+    Carries the 1-based ``lineno`` (0 for whole-file errors raised at
+    finalize time) and the ``source`` — the file name when parsing came
+    through :func:`load_bench` — so error messages pinpoint the exact
+    spot: ``broken.bench: line 3: unknown gate type 'NAN'``.
+    """
+
+    def __init__(
+        self, lineno: int, message: str, source: Optional[str] = None
+    ) -> None:
+        prefix = f"{source}: " if source else ""
+        where = f"line {lineno}: " if lineno else ""
+        super().__init__(f"{prefix}{where}{message}")
         self.lineno = lineno
+        self.source = source
 
 
-def parse_bench(text: str, name: str = "circuit") -> Circuit:
-    """Parse ``.bench`` source text into a finalized :class:`Circuit`."""
+def parse_bench(
+    text: str, name: str = "circuit", source: Optional[str] = None
+) -> Circuit:
+    """Parse ``.bench`` source text into a finalized :class:`Circuit`.
+
+    ``source`` (usually a file name) is woven into parse-error messages.
+    """
     circuit = Circuit(name)
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -46,7 +63,9 @@ def parse_bench(text: str, name: str = "circuit") -> Circuit:
             keyword, node_name = io_match.group(1).upper(), io_match.group(2)
             if keyword == "INPUT":
                 if node_name in circuit.name_to_id and node_name not in circuit._declared:
-                    raise BenchParseError(lineno, f"input {node_name!r} already defined")
+                    raise BenchParseError(
+                        lineno, f"input {node_name!r} already defined", source
+                    )
                 circuit.add_input(node_name)
             else:
                 circuit.mark_output(node_name)
@@ -56,31 +75,44 @@ def parse_bench(text: str, name: str = "circuit") -> Circuit:
             node_name, keyword, args = gate_match.groups()
             gate_type = BENCH_NAMES.get(keyword.lower())
             if gate_type is None:
-                raise BenchParseError(lineno, f"unknown gate type {keyword!r}")
+                raise BenchParseError(
+                    lineno, f"unknown gate type {keyword!r}", source
+                )
             fanins = [a.strip() for a in args.split(",") if a.strip()]
             if not fanins:
-                raise BenchParseError(lineno, f"gate {node_name!r} has no fanins")
+                raise BenchParseError(
+                    lineno, f"gate {node_name!r} has no fanins", source
+                )
             try:
                 if gate_type is GateType.DFF:
                     if len(fanins) != 1:
-                        raise BenchParseError(lineno, "DFF must have exactly one input")
+                        raise BenchParseError(
+                            lineno, "DFF must have exactly one input", source
+                        )
                     circuit.add_dff(node_name, fanins[0])
                 else:
                     circuit.add_gate(node_name, gate_type, fanins)
+            except BenchParseError:
+                raise
             except CircuitError as exc:
-                raise BenchParseError(lineno, str(exc)) from exc
+                raise BenchParseError(lineno, str(exc), source) from exc
             continue
-        raise BenchParseError(lineno, f"unparseable line: {raw.strip()!r}")
+        raise BenchParseError(
+            lineno, f"unparseable line: {raw.strip()!r}", source
+        )
     try:
         return circuit.finalize()
     except CircuitError as exc:
-        raise BenchParseError(0, str(exc)) from exc
+        raise BenchParseError(0, str(exc), source) from exc
 
 
 def load_bench(path: Union[str, Path]) -> Circuit:
-    """Load a ``.bench`` file from disk."""
+    """Load a ``.bench`` file from disk.
+
+    Parse errors name the file: ``<file>: line <n>: <what went wrong>``.
+    """
     path = Path(path)
-    return parse_bench(path.read_text(), name=path.stem)
+    return parse_bench(path.read_text(), name=path.stem, source=path.name)
 
 
 def write_bench(circuit: Circuit) -> str:
@@ -104,5 +136,5 @@ def write_bench(circuit: Circuit) -> str:
 
 
 def save_bench(circuit: Circuit, path: Union[str, Path]) -> None:
-    """Write a circuit to a ``.bench`` file."""
-    Path(path).write_text(write_bench(circuit))
+    """Write a circuit to a ``.bench`` file (atomically)."""
+    atomic_write_text(path, write_bench(circuit))

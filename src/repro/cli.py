@@ -21,6 +21,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from .atomicio import atomic_write_text
 from .baselines import DeterministicAtpg, RandomTestGenerator
 from .circuit import (
     library,
@@ -29,7 +30,7 @@ from .circuit import (
     write_bench,
 )
 from .circuit.profiles import ISCAS89_PROFILES
-from .core import GaTestGenerator, TestGenConfig
+from .core import CheckpointError, GaTestGenerator, TestGenConfig
 from .faults import FaultSimulator
 
 
@@ -51,7 +52,7 @@ def _load_circuit(spec: str, scale: float, seed: int):
 def _write_tests(path: Path, vectors: List[List[int]]) -> None:
     lines = ["# one test vector per line, one bit per primary input"]
     lines += ["".join(str(b) for b in v) for v in vectors]
-    path.write_text("\n".join(lines) + "\n")
+    atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def _read_tests(path: Path, n_pi: int) -> List[List[int]]:
@@ -105,6 +106,10 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_run_body(args: argparse.Namespace, collector) -> int:
     circuit = _load_circuit(args.circuit, args.scale, args.seed)
+    if args.resume and not args.checkpoint:
+        raise SystemExit("error: --resume requires --checkpoint")
+    if args.checkpoint and args.engine != "ga":
+        raise SystemExit("error: --checkpoint is only supported by --engine ga")
     if args.engine == "ga":
         config = TestGenConfig(
             seed=args.seed,
@@ -118,7 +123,20 @@ def _cmd_run_body(args: argparse.Namespace, collector) -> int:
             eval_cache=True if args.eval_cache else None,
             sim_kernel=args.kernel,
         )
-        result = GaTestGenerator(circuit, config, collector=collector).run()
+        generator = GaTestGenerator(circuit, config, collector=collector)
+        # The finally mirrors run()'s own cleanup but also covers the
+        # window where run() never starts (and close() is idempotent),
+        # so an interrupt can never strand pool workers.
+        try:
+            result = generator.run(
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
+            )
+        except CheckpointError as exc:
+            raise SystemExit(f"error: {exc}")
+        finally:
+            generator.fsim.close()
         print(result.summary())
         vectors = result.test_sequence
         if args.compact:
@@ -273,6 +291,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                      help="simulation kernel backend (default: codegen, or "
                           "$REPRO_SIM_KERNEL; results are bit-identical — "
                           "see docs/ARCHITECTURE.md)")
+    run.add_argument("--checkpoint", default=None, metavar="CKPT",
+                     help="write crash-safe run checkpoints here (GA engine "
+                          "only; see docs/ROBUSTNESS.md)")
+    run.add_argument("--checkpoint-every", type=int, default=8, metavar="N",
+                     help="stage events (vectors committed / sequence "
+                          "attempts) between checkpoint writes (default 8)")
+    run.add_argument("--resume", action="store_true",
+                     help="resume from --checkpoint; the finished run is "
+                          "bit-identical to an uninterrupted one")
     run.add_argument("--compact", action="store_true",
                      help="statically compact the generated test set")
     run.add_argument("--max-vectors", type=int, default=None)

@@ -1,6 +1,17 @@
 """GATEST core: the paper's contribution (config, fitness, phases, generator)."""
 
-from .checkpoint import CheckpointError, circuit_fingerprint, load_checkpoint, save_checkpoint
+from .checkpoint import (
+    RUN_FORMAT_VERSION,
+    CheckpointError,
+    circuit_fingerprint,
+    fault_list_digest,
+    load_checkpoint,
+    load_run_checkpoint,
+    restore_sim_run_state,
+    save_checkpoint,
+    save_run_checkpoint,
+    sim_run_state,
+)
 from .compaction import CompactionResult, TestSetCompactor, compact_test_set
 from .config import (
     DEEP_CIRCUITS,
@@ -24,9 +35,15 @@ from .results import StageEvent, TestGenResult
 
 __all__ = [
     "CheckpointError",
+    "RUN_FORMAT_VERSION",
     "circuit_fingerprint",
+    "fault_list_digest",
     "load_checkpoint",
+    "load_run_checkpoint",
+    "restore_sim_run_state",
     "save_checkpoint",
+    "save_run_checkpoint",
+    "sim_run_state",
     "CompactionResult",
     "DEEP_CIRCUITS",
     "FitnessContext",

@@ -1,16 +1,33 @@
 """Checkpointing for long test-generation campaigns.
 
 The paper's largest run (s35932, full fault list) took 105 hours on its
-hardware; campaigns of that length need to survive interruption.  A
-checkpoint captures everything needed to continue generating tests for
-a circuit: the test set committed so far, every fault's status, the
-good-machine state, and the per-fault divergences — i.e., a faithful
-JSON rendering of :class:`~repro.faults.simulator.SimSnapshot` plus the
-vectors that produced it.
+hardware; campaigns of that length need to survive interruption.  Two
+layers live here:
+
+* **Simulator checkpoints** (:func:`save_checkpoint` /
+  :func:`load_checkpoint`) — a faithful JSON rendering of one
+  :class:`~repro.faults.simulator.FaultSimulator`'s committed state
+  plus the vectors that produced it, for callers that manage their own
+  campaign loop.
+* **Run checkpoints** (:func:`save_run_checkpoint` /
+  :func:`load_run_checkpoint` plus the ``sim_run_state`` helpers) — the
+  *complete* :class:`~repro.core.generator.GaTestGenerator` run state:
+  simulator state, test set, phase tracker, RNG state, GA counters and
+  stage trace, guarded by a schema version, a circuit fingerprint, a
+  config digest and a whole-payload content hash.  ``gatest run
+  --checkpoint CKPT --checkpoint-every N`` writes them periodically and
+  ``--resume`` continues a killed run bit-identically (the RNG state
+  makes the continuation replay exactly what an uninterrupted run would
+  have done).  See ``docs/ROBUSTNESS.md`` for the schema and
+  compatibility rules.
+
+All checkpoint writes are atomic (tmp + fsync + rename, via
+:mod:`repro.atomicio`): a crash mid-write leaves the previous
+checkpoint intact, never a torn file.
 
 The circuit itself is *not* stored; a fingerprint (structural hash) is,
-and :func:`load_checkpoint` refuses to restore onto a different
-netlist.  Typical usage::
+and both loaders refuse to restore onto a different netlist.  Typical
+simulator-level usage::
 
     sim = FaultSimulator(circuit)
     sim.commit(first_batch)
@@ -27,6 +44,7 @@ import json
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
+from ..atomicio import atomic_write_text
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault, FaultStatus
 from ..faults.simulator import FaultSimulator
@@ -35,9 +53,13 @@ from ..sim.logic3 import GoodState
 
 FORMAT_VERSION = 1
 
+#: Schema version of *run* checkpoints (the generator-level payload).
+RUN_FORMAT_VERSION = 1
+
 
 class CheckpointError(Exception):
-    """Raised on version or circuit-fingerprint mismatches."""
+    """Raised on version, fingerprint, digest or content-hash
+    mismatches, and on corrupt checkpoint files."""
 
 
 def circuit_fingerprint(circuit: Circuit) -> str:
@@ -83,7 +105,7 @@ def save_checkpoint(
         ],
         "test_sequence": [list(v) for v in (test_sequence or [])],
     }
-    Path(path).write_text(json.dumps(payload))
+    atomic_write_text(path, json.dumps(payload))
 
 
 def load_checkpoint(
@@ -128,3 +150,118 @@ def load_checkpoint(
         (Fault(*fault), frame) for fault, frame in payload["detections"]
     ]
     return simulator, [list(v) for v in payload["test_sequence"]]
+
+
+# ----------------------------------------------------------------------
+# Run checkpoints (full generator state; crash-safe, resumable)
+# ----------------------------------------------------------------------
+
+
+def fault_list_digest(faults: Sequence[object]) -> str:
+    """Stable hash of a fault list's identity and order.
+
+    Run checkpoints do not store the fault list — a resumed generator
+    regenerates it deterministically from the circuit — they store this
+    digest and refuse to restore per-index fault state onto a list that
+    differs.  Works for any fault type with a stable ``repr`` (stuck-at
+    ``Fault`` and ``TransitionFault`` are both frozen dataclasses).
+    """
+    hasher = hashlib.sha256()
+    for fault in faults:
+        hasher.update(repr(fault).encode())
+        hasher.update(b"|")
+    return hasher.hexdigest()
+
+
+def sim_run_state(simulator: FaultSimulator) -> dict:
+    """The simulator's committed state as a JSON-safe dict, keyed by
+    fault *index* (the fault list itself is reproduced at resume)."""
+    fault_index = {fault: i for i, fault in enumerate(simulator.faults)}
+    return {
+        "fault_digest": fault_list_digest(simulator.faults),
+        "status": [s is FaultStatus.DETECTED for s in simulator.status],
+        "good_state": list(simulator.good_state.ff_values),
+        "divergence": {
+            str(fault_id): {str(k): v for k, v in div.items()}
+            for fault_id, div in simulator.divergence.items()
+        },
+        "vectors_applied": simulator.vectors_applied,
+        "detections": [
+            [fault_index[fault], frame] for fault, frame in simulator.detections
+        ],
+        "extra": simulator._checkpoint_extra(),
+    }
+
+
+def restore_sim_run_state(simulator: FaultSimulator, state: dict) -> None:
+    """Overwrite a freshly built simulator's state from
+    :func:`sim_run_state` (in place; bumps the state epoch)."""
+    if state["fault_digest"] != fault_list_digest(simulator.faults):
+        raise CheckpointError(
+            "checkpoint fault list does not match the regenerated fault "
+            "list; refusing to restore per-fault state"
+        )
+    simulator.status = [
+        FaultStatus.DETECTED if detected else FaultStatus.UNDETECTED
+        for detected in state["status"]
+    ]
+    simulator.active = [
+        i for i, s in enumerate(simulator.status)
+        if s is FaultStatus.UNDETECTED
+    ]
+    simulator.good_state = GoodState(list(state["good_state"]))
+    simulator.divergence = {
+        int(fault_id): {int(k): v for k, v in div.items()}
+        for fault_id, div in state["divergence"].items()
+    }
+    simulator.vectors_applied = state["vectors_applied"]
+    simulator.detections = [
+        (simulator.faults[index], frame)
+        for index, frame in state["detections"]
+    ]
+    simulator._restore_checkpoint_extra(state["extra"])
+    simulator.state_epoch += 1
+
+
+def _content_hash(payload: dict) -> str:
+    """Canonical hash over everything except the hash field itself."""
+    body = {k: v for k, v in payload.items() if k != "content_hash"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def save_run_checkpoint(path: Union[str, Path], payload: dict) -> None:
+    """Atomically write one run checkpoint (tmp + fsync + rename).
+
+    Stamps the schema version and a content hash over the whole
+    payload; :func:`load_run_checkpoint` verifies both, so a truncated
+    or bit-flipped file is detected instead of silently resuming from
+    garbage.
+    """
+    payload = dict(payload)
+    payload["kind"] = "gatest-run"
+    payload["format"] = RUN_FORMAT_VERSION
+    payload["content_hash"] = _content_hash(payload)
+    atomic_write_text(path, json.dumps(payload))
+
+
+def load_run_checkpoint(path: Union[str, Path]) -> dict:
+    """Read and integrity-check one run checkpoint."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"cannot read run checkpoint {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("kind") != "gatest-run":
+        raise CheckpointError(f"{path} is not a gatest run checkpoint")
+    if payload.get("format") != RUN_FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported run checkpoint format {payload.get('format')!r} "
+            f"(this build reads format {RUN_FORMAT_VERSION})"
+        )
+    stored = payload.get("content_hash")
+    if stored != _content_hash(payload):
+        raise CheckpointError(
+            f"run checkpoint {path} failed its content-hash check "
+            "(truncated or corrupted file)"
+        )
+    return payload

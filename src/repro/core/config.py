@@ -9,7 +9,8 @@ s35932, whose sequential depths are very large, use smaller multiples).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+from dataclasses import dataclass, field, fields, replace
 from typing import Optional, Sequence, Tuple
 
 
@@ -126,6 +127,22 @@ class TestGenConfig:
     #: are bit-identical either way (docs/ARCHITECTURE.md).
     sim_kernel: Optional[str] = None
 
+    #: Self-healing pool policy for sharded evaluation: per-shard-pass
+    #: timeout in seconds and pool-respawn retry count before degrading
+    #: to the serial path (``None`` = environment/defaults; see
+    #: docs/ROBUSTNESS.md).  Never affects results, only availability.
+    eval_task_timeout: Optional[float] = None
+    eval_retries: Optional[int] = None
+
+    #: Execution-only knobs: settings that change how a run executes but
+    #: provably not what it produces — excluded from :meth:`digest`, so
+    #: a checkpointed run may be resumed with, say, a different
+    #: ``eval_jobs`` and still finish bit-identically.
+    _EXECUTION_ONLY = (
+        "eval_jobs", "eval_cache", "sim_kernel",
+        "eval_task_timeout", "eval_retries",
+    )
+
     def __post_init__(self) -> None:
         if self.eval_jobs < 1:
             raise ValueError("eval_jobs must be >= 1")
@@ -149,6 +166,24 @@ class TestGenConfig:
             raise ValueError("generation gap must be in (0, 1]")
         if self.population_scale <= 0:
             raise ValueError("population_scale must be positive")
+        if self.eval_task_timeout is not None and self.eval_task_timeout <= 0:
+            raise ValueError("eval_task_timeout must be positive (or None)")
+        if self.eval_retries is not None and self.eval_retries < 0:
+            raise ValueError("eval_retries must be >= 0 (or None)")
+
+    def digest(self) -> str:
+        """Hash of every result-affecting knob (run-checkpoint guard).
+
+        Execution-only knobs (``_EXECUTION_ONLY``) are excluded: they
+        are contractually bit-identical in outcome, so a run may resume
+        under different parallelism, kernel or resilience settings.
+        """
+        items = sorted(
+            (f.name, repr(getattr(self, f.name)))
+            for f in fields(self)
+            if f.name not in self._EXECUTION_ONLY
+        )
+        return hashlib.sha256(repr(items).encode()).hexdigest()
 
     @property
     def eval_cache_enabled(self) -> bool:

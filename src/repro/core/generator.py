@@ -20,7 +20,9 @@ score a whole population in one pass.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple, Union
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
@@ -31,10 +33,52 @@ from ..ga.engine import GAParams, GeneticAlgorithm
 from ..sim.compile import CompiledCircuit, compile_circuit
 from ..sim.logic3 import PatternSimulator
 from ..telemetry.collector import NullCollector, get_collector
+from .checkpoint import (
+    CheckpointError,
+    circuit_fingerprint,
+    load_run_checkpoint,
+    restore_sim_run_state,
+    save_run_checkpoint,
+    sim_run_state,
+)
 from .config import TestGenConfig
 from .fitness import FitnessContext, Phase, fitness_for_phase, phase1_fitness
 from .phases import PhaseTracker
 from .results import StageEvent, TestGenResult
+
+
+class _RunCheckpointer:
+    """Periodic crash-safe checkpoint writer for one generator run.
+
+    ``tick`` is called once per committed stage event (vector commit or
+    sequence attempt); every ``every`` events the payload builder is
+    invoked and the checkpoint atomically replaced on disk.  Building
+    the payload is deferred to a callable so the skipped ticks cost
+    nothing.
+    """
+
+    def __init__(self, path, every: int, collector) -> None:
+        if every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.path = Path(path)
+        self.every = every
+        self.collector = collector
+        self._since_write = 0
+
+    def tick(self, payload_fn: Callable[[], dict]) -> None:
+        """Count one stage event; write when the interval is reached."""
+        self._since_write += 1
+        if self._since_write >= self.every:
+            self.write(payload_fn())
+
+    def write(self, payload: dict) -> None:
+        """Write one checkpoint now (atomic; meters the telemetry)."""
+        t0 = time.perf_counter()
+        save_run_checkpoint(self.path, payload)
+        self._since_write = 0
+        if self.collector.enabled:
+            self.collector.inc("checkpoint.writes")
+            self.collector.inc("checkpoint.seconds", time.perf_counter() - t0)
 
 
 class GaTestGenerator:
@@ -70,6 +114,8 @@ class GaTestGenerator:
                 collector=self.collector, eval_jobs=self.config.eval_jobs,
                 eval_cache=self.config.eval_cache,
                 kernel=self.config.sim_kernel,
+                eval_task_timeout=self.config.eval_task_timeout,
+                eval_retries=self.config.eval_retries,
             )
         else:
             self.fsim = FaultSimulator(
@@ -77,6 +123,8 @@ class GaTestGenerator:
                 collector=self.collector, eval_jobs=self.config.eval_jobs,
                 eval_cache=self.config.eval_cache,
                 kernel=self.config.sim_kernel,
+                eval_task_timeout=self.config.eval_task_timeout,
+                eval_retries=self.config.eval_retries,
             )
         self.sampler = make_sampler(self.config.fault_sample)
         self.ctx = FitnessContext(
@@ -211,7 +259,11 @@ class GaTestGenerator:
         cap = self.config.max_vectors
         return cap is None or len(self.test_sequence) + need <= cap
 
-    def _generate_vectors(self, tracker: PhaseTracker) -> None:
+    def _generate_vectors(
+        self,
+        tracker: PhaseTracker,
+        checkpointer: Optional[_RunCheckpointer] = None,
+    ) -> None:
         while (
             self.fsim.active
             and not tracker.vectors_exhausted
@@ -237,12 +289,28 @@ class GaTestGenerator:
             )
             if self.collector.enabled:
                 self._record_stage("vector", phase, 1, commit.detected_count, True)
+            if checkpointer is not None:
+                checkpointer.tick(
+                    lambda: self._checkpoint_payload("vectors", tracker)
+                )
 
-    def _generate_sequences(self, tracker: PhaseTracker) -> None:
+    def _generate_sequences(
+        self,
+        tracker: PhaseTracker,
+        checkpointer: Optional[_RunCheckpointer] = None,
+        resume_state: Optional[dict] = None,
+    ) -> None:
         tracker.enter_sequences()
         depth = self.circuit.sequential_depth()
-        for length in self.config.sequence_lengths(depth):
-            failures = 0
+        lengths = self.config.sequence_lengths(depth)
+        start_index = 0
+        resume_failures = 0
+        if resume_state is not None:
+            start_index = resume_state["length_index"]
+            resume_failures = resume_state["failures"]
+        for index in range(start_index, len(lengths)):
+            length = lengths[index]
+            failures = resume_failures if index == start_index else 0
             while (
                 self.fsim.active
                 and failures < self.config.seq_fail_limit
@@ -273,6 +341,13 @@ class GaTestGenerator:
                         "sequence", Phase.SEQUENCES, length,
                         commit.detected_count if committed else 0, committed,
                     )
+                if checkpointer is not None:
+                    checkpointer.tick(
+                        lambda: self._checkpoint_payload(
+                            "sequences", tracker,
+                            {"length_index": index, "failures": failures},
+                        )
+                    )
 
     # ------------------------------------------------------------------
 
@@ -291,26 +366,146 @@ class GaTestGenerator:
             faults_active=len(self.fsim.active),
         )
 
-    def run(self) -> TestGenResult:
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _encode_rng_state(state) -> list:
+        """``random.Random.getstate()`` as JSON-safe nested lists."""
+        version, internal, gauss_next = state
+        return [version, list(internal), gauss_next]
+
+    @staticmethod
+    def _decode_rng_state(encoded) -> tuple:
+        version, internal, gauss_next = encoded
+        return (version, tuple(internal), gauss_next)
+
+    def _checkpoint_payload(
+        self,
+        stage: str,
+        tracker: PhaseTracker,
+        sequence_stage: Optional[dict] = None,
+    ) -> dict:
+        """Everything needed to resume this run bit-identically.
+
+        Built only at stage boundaries (after a committed vector or a
+        finished sequence attempt), where the loop state is fully
+        described by ``stage``/``sequence_stage`` plus the tracker, the
+        simulator's committed state and the RNG state.
+        """
+        return {
+            "circuit": self.circuit.name,
+            "fingerprint": circuit_fingerprint(self.circuit),
+            "config_digest": self.config.digest(),
+            "stage": stage,
+            "sequence_stage": sequence_stage,
+            "sim": sim_run_state(self.fsim),
+            "test_sequence": [list(v) for v in self.test_sequence],
+            "rng_state": self._encode_rng_state(self.rng.getstate()),
+            "tracker": tracker.state_dict(),
+            "ga_runs": self.ga_runs,
+            "ga_evaluations": self.ga_evaluations,
+            "trace": [
+                [e.kind, e.phase.name, e.frames, e.detected, e.committed]
+                for e in self.trace
+            ],
+        }
+
+    def _restore_run(self, payload: dict) -> Tuple[PhaseTracker, str, Optional[dict]]:
+        """Overwrite this (freshly constructed) generator's state from a
+        run checkpoint; returns the rebuilt tracker and resume stage."""
+        if payload["fingerprint"] != circuit_fingerprint(self.circuit):
+            raise CheckpointError(
+                f"checkpoint was taken on circuit {payload['circuit']!r} "
+                "with a different structure; refusing to resume"
+            )
+        if payload["config_digest"] != self.config.digest():
+            raise CheckpointError(
+                "checkpoint was taken under a different result-affecting "
+                "configuration; refusing to resume (execution-only knobs "
+                "like eval_jobs may differ, the rest must match)"
+            )
+        restore_sim_run_state(self.fsim, payload["sim"])
+        self.test_sequence = [list(v) for v in payload["test_sequence"]]
+        self.rng.setstate(self._decode_rng_state(payload["rng_state"]))
+        self.ga_runs = payload["ga_runs"]
+        self.ga_evaluations = payload["ga_evaluations"]
+        self.trace = [
+            StageEvent(
+                kind=kind, phase=Phase[phase], frames=frames,
+                detected=detected, committed=committed,
+            )
+            for kind, phase, frames, detected, committed in payload["trace"]
+        ]
+        tracker = PhaseTracker.from_state(
+            payload["tracker"],
+            progress_limit=self.config.progress_limit(
+                self.circuit.sequential_depth()
+            ),
+        )
+        return tracker, payload["stage"], payload.get("sequence_stage")
+
+    DEFAULT_CHECKPOINT_EVERY = 8
+
+    def run(
+        self,
+        *,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        resume: bool = False,
+    ) -> TestGenResult:
         """Execute the full Figure-1 flow and return the result record.
 
         The run is wrapped in a ``generator.run`` telemetry span with one
         child span per stage; ``elapsed_seconds`` is read back from the
         root span so the reported wall clock and the trace cannot drift.
+
+        With ``checkpoint_path`` set, a crash-safe run checkpoint is
+        (re)written every ``checkpoint_every`` stage events plus once at
+        completion; with ``resume=True`` the run restarts from that file
+        and finishes bit-identically to an uninterrupted run (the
+        checkpoint carries the RNG state).
         """
         collector = self.collector
+        checkpointer: Optional[_RunCheckpointer] = None
+        if checkpoint_path is not None:
+            checkpointer = _RunCheckpointer(
+                checkpoint_path, checkpoint_every, collector
+            )
+        if resume and checkpointer is None:
+            raise ValueError("resume=True requires a checkpoint_path")
+        stage = "vectors"
+        seq_state: Optional[dict] = None
+        tracker: Optional[PhaseTracker] = None
+        if resume:
+            payload = load_run_checkpoint(checkpoint_path)
+            tracker, stage, seq_state = self._restore_run(payload)
+            if collector.enabled:
+                collector.inc("run.resumed")
         try:
             with collector.span("generator.run", circuit=self.circuit.name) as root:
-                tracker = PhaseTracker(
-                    progress_limit=self.config.progress_limit(
-                        self.circuit.sequential_depth()
+                if tracker is None:
+                    tracker = PhaseTracker(
+                        progress_limit=self.config.progress_limit(
+                            self.circuit.sequential_depth()
+                        )
                     )
-                )
-                with collector.span("generator.vectors"):
-                    self._generate_vectors(tracker)
-                if self.fsim.active:
+                if stage == "vectors":
+                    with collector.span("generator.vectors"):
+                        self._generate_vectors(tracker, checkpointer)
+                if stage != "done" and self.fsim.active:
                     with collector.span("generator.sequences"):
-                        self._generate_sequences(tracker)
+                        self._generate_sequences(
+                            tracker, checkpointer,
+                            seq_state if stage == "sequences" else None,
+                        )
+                if checkpointer is not None and stage != "done":
+                    # Final checkpoint: resuming a finished run is a no-op
+                    # that reproduces its result.
+                    checkpointer.write(
+                        self._checkpoint_payload("done", tracker)
+                    )
         finally:
             self.fsim.close()  # release eval-jobs worker processes, if any
         elapsed = root.elapsed

@@ -84,3 +84,34 @@ class PhaseTracker:
     def enter_sequences(self) -> None:
         """Record the switch to test-sequence generation (phase 4)."""
         self._enter(Phase.SEQUENCES)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe rendering of the full tracker state (run checkpoints)."""
+        return {
+            "phase": self.phase.name,
+            "noncontributing": self.noncontributing,
+            "best_ffs_set": self._best_ffs_set,
+            "stagnant_init_vectors": self._stagnant_init_vectors,
+            "vectors_seen": self._vectors_seen,
+            "transitions": [
+                [index, phase.name] for index, phase in self.transitions
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, progress_limit: int) -> "PhaseTracker":
+        """Rebuild a tracker exactly as :meth:`state_dict` captured it."""
+        tracker = cls(progress_limit=progress_limit)
+        tracker.phase = Phase[state["phase"]]
+        tracker.noncontributing = state["noncontributing"]
+        tracker._best_ffs_set = state["best_ffs_set"]
+        tracker._stagnant_init_vectors = state["stagnant_init_vectors"]
+        tracker._vectors_seen = state["vectors_seen"]
+        tracker.transitions = [
+            (index, Phase[name]) for index, name in state["transitions"]
+        ]
+        return tracker

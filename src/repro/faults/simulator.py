@@ -228,6 +228,8 @@ class FaultSimulator:
         eval_jobs: int = 1,
         eval_cache: Optional[bool] = None,
         kernel: Optional[str] = None,
+        eval_task_timeout: Optional[float] = None,
+        eval_retries: Optional[int] = None,
     ) -> None:
         if isinstance(circuit, CompiledCircuit):
             self.compiled = circuit
@@ -270,9 +272,13 @@ class FaultSimulator:
             eval_cache = eval_jobs > 1
         if eval_jobs > 1 or eval_cache:
             from ..parallel.evaluator import ParallelEvaluator
+            from ..parallel.resilience import RetryPolicy
 
             self._parallel: Optional["ParallelEvaluator"] = ParallelEvaluator(
-                self, jobs=eval_jobs, cache=eval_cache, collector=self.collector
+                self, jobs=eval_jobs, cache=eval_cache, collector=self.collector,
+                retry=RetryPolicy.from_env(
+                    task_timeout=eval_task_timeout, max_retries=eval_retries
+                ),
             )
         else:
             self._parallel = None
@@ -343,6 +349,19 @@ class FaultSimulator:
         """
         if self._parallel is not None:
             self._parallel.close()
+
+    # ------------------------------------------------------------------
+    # Checkpoint hooks (run-level checkpoints, see repro.core.checkpoint)
+    # ------------------------------------------------------------------
+
+    def _checkpoint_extra(self) -> dict:
+        """JSON-safe model-specific state beyond the common snapshot
+        fields; subclasses with extra committed state (the transition
+        model's previous-frame good values) override both hooks."""
+        return {}
+
+    def _restore_checkpoint_extra(self, extra: dict) -> None:
+        """Restore what :meth:`_checkpoint_extra` captured."""
 
     # ------------------------------------------------------------------
     # Good-machine pass

@@ -88,6 +88,8 @@ class TransitionFaultSimulator(FaultSimulator):
         eval_jobs: int = 1,
         eval_cache: Optional[bool] = None,
         kernel: Optional[str] = None,
+        eval_task_timeout: Optional[float] = None,
+        eval_retries: Optional[int] = None,
     ) -> None:
         if isinstance(circuit, CompiledCircuit):
             compiled = circuit
@@ -99,7 +101,9 @@ class TransitionFaultSimulator(FaultSimulator):
             faults = generate_transition_faults(compiled.circuit)
         super().__init__(compiled, faults=faults, word_width=word_width,  # type: ignore[arg-type]
                          collector=collector, eval_jobs=eval_jobs,
-                         eval_cache=eval_cache, kernel=kernel)
+                         eval_cache=eval_cache, kernel=kernel,
+                         eval_task_timeout=eval_task_timeout,
+                         eval_retries=eval_retries)
         #: Fault-free node values at the last committed frame (scalars);
         #: the excitation condition for the first frame of any new test.
         self.prev_good: List[int] = [X] * compiled.num_nodes
@@ -131,6 +135,12 @@ class TransitionFaultSimulator(FaultSimulator):
             1 if g1[i] else (0 if g0[i] else X)
             for i in range(self.compiled.num_nodes)
         ]
+
+    def _checkpoint_extra(self) -> dict:
+        return {"prev_good": list(self.prev_good)}
+
+    def _restore_checkpoint_extra(self, extra: dict) -> None:
+        self.prev_good = list(extra["prev_good"])
 
     # ------------------------------------------------------------------
     # Per-frame conditional injection

@@ -26,11 +26,14 @@ stack and docs/PERFORMANCE.md for tuning guidance and measured numbers.
 
 from .cache import EvalCache, eval_key
 from .evaluator import ParallelEvaluator
+from .resilience import ChaosConfig, RetryPolicy
 from .sharding import plan_shards
 
 __all__ = [
+    "ChaosConfig",
     "EvalCache",
     "ParallelEvaluator",
+    "RetryPolicy",
     "eval_key",
     "plan_shards",
 ]

@@ -30,13 +30,24 @@ CPU, a fault sample too small to shard, a simulator subclass whose
 injection a pool worker cannot replay (``_shardable = False``), or a
 pool that fails to start, scoring falls back to an in-process pass —
 results are identical either way, only the wall clock changes.
-Telemetry counters (``parallel.*``, see docs/TELEMETRY.md) meter cache
-traffic, shard fan-out and worker wall time.
+
+The pool path is additionally *self-healing* (docs/ROBUSTNESS.md): a
+sharded pass that loses a worker (``BrokenProcessPool``), exceeds the
+per-pass task timeout (a hung worker), or fails in any other way is
+retried after killing and respawning the pool, with exponential backoff
+between attempts (:class:`~repro.parallel.resilience.RetryPolicy`).
+When the retries are exhausted the evaluator permanently degrades to
+the in-process serial pass for the rest of the run — the serial path is
+the reference implementation, so every recovery route produces
+bit-identical results.  Telemetry counters (``parallel.*``, see
+docs/TELEMETRY.md) meter cache traffic, shard fan-out, worker wall
+time, retries, pool restarts and degradation.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import replace
 from typing import List, Optional, Sequence
 
@@ -44,6 +55,7 @@ from ..faults.simulator import CandidateEval, FaultSimulator
 from ..sim.logic3 import Vector
 from ..telemetry.collector import NullCollector, get_collector
 from .cache import DEFAULT_MAX_ENTRIES, EvalCache, eval_key
+from .resilience import RetryPolicy
 from .sharding import plan_shards
 from .worker import init_worker, run_batch_shard, shard_payload
 
@@ -84,6 +96,7 @@ class ParallelEvaluator:
         max_cache_entries: int = DEFAULT_MAX_ENTRIES,
         collector: Optional[NullCollector] = None,
         force_shard: bool = False,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -97,9 +110,14 @@ class ParallelEvaluator:
             force_shard
             or os.environ.get("REPRO_EVAL_FORCE_SHARD", "") == "1"
         )
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
         self._cpus = _usable_cpus()
         self._pool = None
         self._pool_broken = False
+        #: Monotonic task sequence number — gives every submitted shard
+        #: task (including retries) a distinct, deterministic identity,
+        #: which the chaos hook keys its failure decisions on.
+        self._task_seq = 0
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -127,11 +145,47 @@ class ParallelEvaluator:
                 self._pool_broken = True
         return self._pool
 
+    def _kill_pool(self) -> None:
+        """Tear the pool down hard: cancel queued work, terminate workers.
+
+        Used when the pool is known or suspected broken (a worker died
+        or hung); a clean ``shutdown`` would block forever on a wedged
+        worker, so the worker processes are terminated outright.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = list(getattr(pool, "_processes", {}).values())
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        for proc in processes:
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        for proc in processes:
+            try:
+                proc.join(timeout=5.0)
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    def _restart_pool(self) -> None:
+        """Kill the (suspect) pool; the next ``_get_pool`` respawns it."""
+        self._kill_pool()
+        if self.collector.enabled:
+            self.collector.inc("parallel.pool.restarts")
+
     def close(self) -> None:
         """Shut down the worker pool (scoring stays usable: the pool is
-        recreated on demand, and the cache is unaffected)."""
+        recreated on demand, and the cache is unaffected).
+
+        Queued-but-unstarted tasks are cancelled so an interrupt cannot
+        strand worker processes behind a backlog.
+        """
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(cancel_futures=True)
             self._pool = None
 
     def __enter__(self) -> "ParallelEvaluator":
@@ -168,30 +222,78 @@ class ParallelEvaluator:
         candidate list against its sub-sample with the wide-word batch
         pass.  Per-fault observables are summed across the disjoint
         shards; good-machine observables are taken from the first shard
-        (they do not depend on the sample).  Returns ``None`` when the
-        pool cannot be created.
+        (they do not depend on the sample).
+
+        Self-healing: a pass that loses a worker, times out, or fails
+        for any other reason kills and respawns the pool and retries
+        (with exponential backoff) up to ``retry.max_retries`` times;
+        exhausting the retries permanently degrades this evaluator to
+        the serial path.  Returns ``None`` when the pool cannot be
+        created or the pass could not be completed — the caller's serial
+        fallback is the reference implementation, so every path yields
+        bit-identical results.
         """
-        pool = self._get_pool()
-        if pool is None:
-            return None
         sim = self.sim
+        policy = self.retry
+        collector = self.collector
         shards = [
             [fault_id for group in groups[start:stop] for fault_id in group]
             for start, stop in plan_shards(len(groups), self.jobs)
         ]
-        futures = [
-            pool.submit(
-                run_batch_shard,
-                shard_payload(sim, candidates, shard, count_faulty_events),
-            )
-            for shard in shards
-        ]
-        rows_per_shard = []
+        rows_per_shard: List[list] = []
         worker_seconds = 0.0
-        for future in futures:
-            rows, wall = future.result()
-            rows_per_shard.append(rows)
-            worker_seconds += wall
+        for attempt in range(policy.max_retries + 1):
+            pool = self._get_pool()
+            if pool is None:
+                return None
+            futures = []
+            try:
+                deadline = (
+                    time.monotonic() + policy.task_timeout
+                    if policy.task_timeout is not None else None
+                )
+                for shard in shards:
+                    seq = self._task_seq
+                    self._task_seq += 1
+                    futures.append(
+                        pool.submit(
+                            run_batch_shard,
+                            shard_payload(
+                                sim, candidates, shard, count_faulty_events
+                            ),
+                            seq,
+                        )
+                    )
+                rows_per_shard = []
+                worker_seconds = 0.0
+                for future in futures:
+                    remaining = (
+                        None if deadline is None
+                        else max(0.0, deadline - time.monotonic())
+                    )
+                    rows, wall = future.result(timeout=remaining)
+                    rows_per_shard.append(rows)
+                    worker_seconds += wall
+            except Exception:
+                # Worker death (BrokenProcessPool), a hung worker (the
+                # deadline fired), an unpicklable payload/result, or a
+                # fault injected by chaos testing: every one is handled
+                # the same way — kill the suspect pool, respawn, retry.
+                for future in futures:
+                    future.cancel()
+                self._restart_pool()
+                if attempt < policy.max_retries:
+                    if collector.enabled:
+                        collector.inc("parallel.retries")
+                    time.sleep(policy.backoff(attempt))
+                    continue
+                # Retries exhausted: degrade to the in-process serial
+                # pass for the rest of this evaluator's life.
+                self._pool_broken = True
+                if collector.enabled:
+                    collector.inc("parallel.degraded")
+                return None
+            break
         results: List[CandidateEval] = []
         for index, candidate in enumerate(candidates):
             detected = 0

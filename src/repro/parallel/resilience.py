@@ -1,0 +1,177 @@
+"""Failure policy and deterministic chaos injection for the worker pool.
+
+Two small, side-effect-free value types govern the self-healing
+behaviour of :class:`~repro.parallel.evaluator.ParallelEvaluator`:
+
+* :class:`RetryPolicy` — how long one shard task may run, how many times
+  a failed sharded pass is retried after a pool respawn, and the
+  exponential backoff between attempts.  Defaults come from the
+  environment (``REPRO_EVAL_TIMEOUT``, ``REPRO_EVAL_RETRIES``) so CI and
+  operators can tighten them without code changes.
+* :class:`ChaosConfig` — the deterministic fault-injection hook used by
+  the robustness test suite.  ``REPRO_CHAOS=crash:<p>,hang:<p>,seed:<n>``
+  makes pool workers kill themselves (``os._exit``, indistinguishable
+  from an OOM kill) or stall (a long sleep, indistinguishable from a
+  wedged worker) with the given probabilities.  Decisions are a pure
+  function of ``(seed, task sequence number)`` — the parent numbers
+  tasks deterministically — so a chaos run replays the *same* failures
+  every time, and a retried task draws a fresh decision and can recover.
+
+See ``docs/ROBUSTNESS.md`` for the full failure-handling contract.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+#: Environment variable carrying the chaos spec (read by pool workers).
+CHAOS_ENV = "REPRO_CHAOS"
+#: Per-shard-task timeout override, in seconds (<= 0 disables).
+TIMEOUT_ENV = "REPRO_EVAL_TIMEOUT"
+#: Pool-respawn retry count override.
+RETRIES_ENV = "REPRO_EVAL_RETRIES"
+
+#: Default per-shard-task timeout.  Shard tasks are sub-second in normal
+#: operation; minutes of silence means a hung or thrashing worker.
+DEFAULT_TASK_TIMEOUT = 300.0
+#: Default pool respawns per failed scoring pass before degrading.
+DEFAULT_MAX_RETRIES = 2
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout / retry / backoff policy for sharded scoring passes.
+
+    ``task_timeout`` bounds the wall time of one whole sharded pass
+    (all of a pass's tasks run concurrently, so one deadline covers
+    them); ``None`` disables the bound.  ``max_retries`` is how many
+    times a failed pass is retried — each retry kills and respawns the
+    pool first — before the evaluator degrades to the in-process serial
+    path for the rest of the run.
+    """
+
+    max_retries: int = DEFAULT_MAX_RETRIES
+    task_timeout: Optional[float] = DEFAULT_TASK_TIMEOUT
+    backoff_base: float = 0.05
+    backoff_factor: float = 4.0
+    backoff_max: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        return min(self.backoff_base * self.backoff_factor ** attempt,
+                   self.backoff_max)
+
+    @classmethod
+    def from_env(
+        cls,
+        task_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+    ) -> "RetryPolicy":
+        """Policy from the environment, with explicit overrides winning.
+
+        ``task_timeout`` / ``max_retries`` arguments (when not ``None``)
+        beat ``REPRO_EVAL_TIMEOUT`` / ``REPRO_EVAL_RETRIES``, which beat
+        the defaults.  A timeout <= 0 (argument or environment) disables
+        the bound.
+        """
+        if task_timeout is None:
+            raw = os.environ.get(TIMEOUT_ENV, "")
+            task_timeout = float(raw) if raw else DEFAULT_TASK_TIMEOUT
+        if task_timeout <= 0:
+            task_timeout = None
+        if max_retries is None:
+            raw = os.environ.get(RETRIES_ENV, "")
+            max_retries = int(raw) if raw else DEFAULT_MAX_RETRIES
+        return cls(max_retries=max_retries, task_timeout=task_timeout)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Deterministic worker-failure injection (test hook).
+
+    ``crash`` / ``hang`` are per-task probabilities; ``seed`` makes the
+    injected failure sequence reproducible.  ``hang_seconds`` is how
+    long a stalled worker sleeps — far longer than any sane task
+    timeout, so a hang always surfaces as a timeout, never as a slow
+    success.
+    """
+
+    crash: float = 0.0
+    hang: float = 0.0
+    seed: int = 0
+    hang_seconds: float = 600.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.crash <= 1.0 or not 0.0 <= self.hang <= 1.0:
+            raise ValueError("chaos probabilities must be in [0, 1]")
+        if self.crash + self.hang > 1.0:
+            raise ValueError("crash + hang probabilities must not exceed 1")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any failure can actually be injected."""
+        return self.crash > 0.0 or self.hang > 0.0
+
+    def decide(self, task_seq: int) -> Optional[str]:
+        """The injected failure for task ``task_seq``: ``"crash"``,
+        ``"hang"`` or ``None``.
+
+        A pure function of ``(seed, task_seq)``: the same run replays
+        the same failures, and a *retried* task (which the parent gives
+        a fresh sequence number) draws independently — so bounded
+        retries recover from sub-certain crash probabilities.
+        """
+        draw = random.Random(self.seed * 1_000_003 + task_seq).random()
+        if draw < self.crash:
+            return "crash"
+        if draw < self.crash + self.hang:
+            return "hang"
+        return None
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosConfig":
+        """Parse a ``crash:<p>,hang:<p>,seed:<n>`` spec string.
+
+        Keys may appear in any order and any may be omitted;
+        ``hang_seconds:<s>`` is accepted as an extra knob.  Raises
+        ``ValueError`` on unknown keys or malformed values — a chaos
+        spec is an explicit test instruction and must not fail silently.
+        """
+        fields = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition(":")
+            if not sep:
+                raise ValueError(f"chaos spec entry {part!r} is not key:value")
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key in ("crash", "hang", "hang_seconds"):
+                    fields[key] = float(value)
+                elif key == "seed":
+                    fields[key] = int(value)
+                else:
+                    raise ValueError(f"unknown chaos key {key!r}")
+            except ValueError as exc:
+                raise ValueError(f"bad chaos spec {spec!r}: {exc}") from exc
+        return cls(**fields)
+
+    @classmethod
+    def from_env(cls) -> Optional["ChaosConfig"]:
+        """The ``REPRO_CHAOS`` config, or ``None`` when unset/disabled."""
+        spec = os.environ.get(CHAOS_ENV, "")
+        if not spec:
+            return None
+        config = cls.parse(spec)
+        return config if config.enabled else None

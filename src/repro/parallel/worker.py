@@ -13,21 +13,34 @@ bit-identical to the serial pass restricted to the same faults, and the
 parent's per-candidate summation merge is exact (the sub-samples are
 disjoint).
 
+For robustness testing, workers honor the ``REPRO_CHAOS`` environment
+variable (``crash:<p>,hang:<p>,seed:<n>``, see
+:mod:`repro.parallel.resilience`): before running a task they may kill
+themselves abruptly (like an OOM kill) or stall (like a wedged worker),
+deterministically keyed on the task's parent-assigned sequence number.
+The parent's self-healing retry loop is what turns those injected
+failures back into correct results.
+
 Everything here must stay module-level and import-safe: it is resolved
 by name inside pool worker processes.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faults.simulator import FaultSimulator
 from ..sim.compile import CompiledCircuit
 from ..sim.logic3 import GoodState, Vector
+from .resilience import ChaosConfig
 
 #: The worker-resident simulator (one per pool process).
 _SIM: Optional[FaultSimulator] = None
+
+#: Chaos injection config (parsed from ``REPRO_CHAOS`` at pool init).
+_CHAOS: Optional[ChaosConfig] = None
 
 #: One shard task: (ff_values, divergence, candidates, sub_sample,
 #: count_faulty_events).
@@ -62,13 +75,31 @@ def init_worker(
     every worker compiles the same kernel and sharded results stay
     bit-identical to the parent's serial pass.
     """
-    global _SIM
+    global _SIM, _CHAOS
     _SIM = FaultSimulator(
         compiled, faults=faults, word_width=word_width, kernel=kernel
     )
+    _CHAOS = ChaosConfig.from_env()
 
 
-def run_batch_shard(task: ShardTask) -> ShardResult:
+def _maybe_inject_chaos(task_seq: int) -> None:
+    """Kill or stall this worker if the chaos config says so.
+
+    A crash is ``os._exit`` — no exception, no cleanup, exactly what the
+    kernel's OOM killer looks like from the parent (the pool breaks and
+    every outstanding future raises ``BrokenProcessPool``).  A hang is a
+    long sleep the parent must detect via its task timeout.
+    """
+    if _CHAOS is None:
+        return
+    action = _CHAOS.decide(task_seq)
+    if action == "crash":
+        os._exit(75)
+    if action == "hang":
+        time.sleep(_CHAOS.hang_seconds)
+
+
+def run_batch_shard(task: ShardTask, task_seq: int = 0) -> ShardResult:
     """Score every candidate against one shard of the fault sample.
 
     The resident simulator's mutable state is overwritten from the task
@@ -78,6 +109,7 @@ def run_batch_shard(task: ShardTask) -> ShardResult:
     """
     if _SIM is None:  # pragma: no cover - defensive; initializer always ran
         raise RuntimeError("worker used before init_worker")
+    _maybe_inject_chaos(task_seq)
     t0 = time.perf_counter()
     ff_values, divergence, candidates, sub_sample, count_events = task
     _SIM.good_state = GoodState(list(ff_values))

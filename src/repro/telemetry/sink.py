@@ -12,6 +12,7 @@ import json
 from pathlib import Path
 from typing import IO, Iterable, List, Mapping, Optional, Union
 
+from ..atomicio import atomic_open
 from .records import validate_record
 
 PathLike = Union[str, Path]
@@ -71,9 +72,15 @@ class JsonlSink:
 
 
 def write_trace(path: PathLike, records: Iterable[Mapping[str, object]]) -> int:
-    """Write a whole trace to ``path``; returns the record count."""
-    with JsonlSink(path) as sink:
-        return sink.write_all(records)
+    """Write a whole trace to ``path``; returns the record count.
+
+    The write is atomic (tmp + fsync + rename): readers never see a
+    half-written trace, and a crash mid-write leaves any previous trace
+    at ``path`` intact.
+    """
+    with atomic_open(path) as fh:
+        with JsonlSink(fh) as sink:
+            return sink.write_all(records)
 
 
 def read_trace(path: PathLike, validate: bool = True) -> List[dict]:

@@ -1,0 +1,82 @@
+"""Tests for crash-safe (tmp + fsync + rename) artifact writes."""
+
+import json
+import os
+
+import pytest
+
+from repro.atomicio import atomic_open, atomic_write_json, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_creates_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_replaces_existing(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_crash_mid_write_preserves_previous(self, tmp_path):
+        """An exception inside the write leaves the old contents intact
+        and no temporary file behind."""
+        path = tmp_path / "out.txt"
+        path.write_text("previous contents")
+        with pytest.raises(RuntimeError):
+            with atomic_open(path) as fh:
+                fh.write("half a new fi")
+                raise RuntimeError("simulated crash")
+        assert path.read_text() == "previous contents"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_crash_on_fresh_target_leaves_nothing(self, tmp_path):
+        path = tmp_path / "never.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_open(path) as fh:
+                fh.write("doomed")
+                raise RuntimeError
+        assert os.listdir(tmp_path) == []
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "data.json"
+        atomic_write_json(path, {"a": [1, 2], "b": None}, indent=2)
+        assert json.loads(path.read_text()) == {"a": [1, 2], "b": None}
+
+
+class TestArtifactsAreAtomic:
+    """The artifact writers all route through the atomic helper."""
+
+    def test_trace_write_is_atomic(self, tmp_path, monkeypatch):
+        """A failing trace write must not clobber the previous trace."""
+        from repro.telemetry import sink
+        from repro.telemetry.records import make_record
+
+        path = tmp_path / "trace.jsonl"
+        sink.write_trace(path, [make_record("counter", name="x", value=1)])
+        previous = path.read_text()
+
+        def explode(record):
+            raise RuntimeError("simulated failure mid-trace")
+
+        records = [make_record("counter", name="y", value=2)]
+        monkeypatch.setattr(sink, "validate_record", explode)
+        with pytest.raises(RuntimeError):
+            sink.write_trace(path, records)
+        assert path.read_text() == previous
+        assert os.listdir(tmp_path) == ["trace.jsonl"]
+
+    def test_cli_test_vector_output_is_atomic(self, tmp_path):
+        from repro.cli import _write_tests
+
+        path = tmp_path / "tests.txt"
+        _write_tests(path, [[0, 1], [1, 0]])
+        assert os.listdir(tmp_path) == ["tests.txt"]
+        assert "01" in path.read_text()

@@ -75,6 +75,54 @@ class TestParse:
             parse_bench("INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)")
 
 
+class TestErrorReporting:
+    """Malformed .bench input dies with the file name and line number."""
+
+    def test_truncated_gate_line(self):
+        with pytest.raises(BenchParseError, match="line 3") as exc:
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NAND(a,")
+        assert exc.value.lineno == 3
+
+    def test_truncated_io_declaration(self):
+        with pytest.raises(BenchParseError, match="line 1"):
+            parse_bench("INPUT(a")
+
+    def test_duplicate_gate_definition(self):
+        with pytest.raises(BenchParseError, match="line 4"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)")
+
+    def test_unknown_gate_keyword(self):
+        with pytest.raises(BenchParseError, match="unknown gate type 'XNOR9'"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = XNOR9(a)")
+
+    def test_source_name_in_message(self, tmp_path):
+        path = tmp_path / "broken.bench"
+        path.write_text("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+        with pytest.raises(BenchParseError, match=r"broken\.bench: line 3"):
+            load_bench(path)
+
+    def test_source_and_lineno_attributes(self, tmp_path):
+        path = tmp_path / "bad.bench"
+        path.write_text("INPUT(a)\nnot bench at all\n")
+        with pytest.raises(BenchParseError) as exc:
+            load_bench(path)
+        assert exc.value.source == "bad.bench"
+        assert exc.value.lineno == 2
+
+    def test_finalize_error_names_file_without_lineno(self, tmp_path):
+        path = tmp_path / "ghost.bench"
+        path.write_text("INPUT(a)\nOUTPUT(ghost)\ny = NOT(a)\n")
+        with pytest.raises(BenchParseError, match=r"ghost\.bench: .*never defined"):
+            load_bench(path)
+
+    def test_no_double_prefix_on_dff_arity_error(self):
+        """The DFF-arity error is a BenchParseError raised inside the
+        CircuitError-wrapping block; it must not be wrapped twice."""
+        with pytest.raises(BenchParseError) as exc:
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)")
+        assert str(exc.value).count("line 4") == 1
+
+
 class TestRoundTrip:
     def test_simple_round_trip(self):
         c1 = parse_bench(SIMPLE, name="t")

@@ -6,10 +6,16 @@ import pytest
 
 from repro.circuit import mini_fsm, s27, synthesize_named
 from repro.core import (
+    RUN_FORMAT_VERSION,
     CheckpointError,
     circuit_fingerprint,
+    fault_list_digest,
     load_checkpoint,
+    load_run_checkpoint,
+    restore_sim_run_state,
     save_checkpoint,
+    save_run_checkpoint,
+    sim_run_state,
 )
 from repro.faults import FaultSimulator
 
@@ -96,3 +102,79 @@ class TestGuards:
             "format", "circuit", "fingerprint", "faults", "status",
             "good_state", "divergence", "test_sequence",
         }
+
+
+class TestRunCheckpoints:
+    """The generator-level (crash-safe, resumable) checkpoint layer."""
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_run_checkpoint(path, {"stage": "vectors", "data": [1, 2, 3]})
+        payload = load_run_checkpoint(path)
+        assert payload["kind"] == "gatest-run"
+        assert payload["format"] == RUN_FORMAT_VERSION
+        assert payload["stage"] == "vectors"
+        assert payload["data"] == [1, 2, 3]
+
+    def test_corrupt_bitflip_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_run_checkpoint(path, {"stage": "vectors", "count": 7})
+        payload = json.loads(path.read_text())
+        payload["count"] = 8  # silent corruption
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="content-hash"):
+            load_run_checkpoint(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_run_checkpoint(path, {"stage": "done"})
+        path.write_text(path.read_text()[:-20])
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_run_checkpoint(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_run_checkpoint(tmp_path / "nope.ckpt")
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(CheckpointError, match="not a gatest run checkpoint"):
+            load_run_checkpoint(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_run_checkpoint(path, {"stage": "done"})
+        payload = json.loads(path.read_text())
+        payload["format"] = 99
+        del payload["content_hash"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="format"):
+            load_run_checkpoint(path)
+
+    def test_sim_state_round_trip(self, s27_circuit):
+        sim = FaultSimulator(s27_circuit)
+        sim.commit(random_vectors(s27_circuit, 12, seed=6))
+        state = json.loads(json.dumps(sim_run_state(sim)))  # JSON-safe
+        fresh = FaultSimulator(s27())
+        epoch_before = fresh.state_epoch
+        restore_sim_run_state(fresh, state)
+        assert fresh.state_epoch == epoch_before + 1
+        assert fresh.detected_count == sim.detected_count
+        assert fresh.detections == sim.detections
+        assert fresh.divergence == sim.divergence
+        assert fresh.good_state.ff_values == sim.good_state.ff_values
+        assert fresh.vectors_applied == sim.vectors_applied
+
+    def test_fault_digest_guard(self, s27_circuit, minifsm_circuit):
+        sim = FaultSimulator(s27_circuit)
+        state = sim_run_state(sim)
+        other = FaultSimulator(minifsm_circuit)
+        with pytest.raises(CheckpointError, match="fault list"):
+            restore_sim_run_state(other, state)
+
+    def test_fault_digest_orders(self, s27_circuit):
+        sim = FaultSimulator(s27_circuit)
+        digest = fault_list_digest(sim.faults)
+        assert digest == fault_list_digest(list(sim.faults))
+        assert digest != fault_list_digest(list(reversed(sim.faults)))
