@@ -347,7 +347,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     sub.add_parser(
         "experiments",
-        help="regenerate the paper's tables (forwards to repro.harness.experiments)",
+        help="regenerate the paper's tables (forwards to "
+             "repro.harness.experiments; supports crash-safe campaigns "
+             "via --journal/--resume and seed parallelism via --jobs)",
         add_help=False,
     )
 

@@ -1,7 +1,7 @@
 """Checkpointing for long test-generation campaigns.
 
 The paper's largest run (s35932, full fault list) took 105 hours on its
-hardware; campaigns of that length need to survive interruption.  Two
+hardware; campaigns of that length need to survive interruption.  Three
 layers live here:
 
 * **Simulator checkpoints** (:func:`save_checkpoint` /
@@ -20,6 +20,15 @@ layers live here:
   makes the continuation replay exactly what an uninterrupted run would
   have done).  See ``docs/ROBUSTNESS.md`` for the schema and
   compatibility rules.
+* **Campaign journals** (:func:`save_campaign_journal` /
+  :func:`load_campaign_journal` plus the per-line sealing helpers) —
+  the JSONL substrate of the harness's multi-run experiment campaigns
+  (:mod:`repro.harness.campaign`): a content-hashed header line binding
+  the campaign's identity, followed by one sealed record per journaled
+  unit of work.  The guards mirror the run-checkpoint compatibility
+  rules — unknown schema versions, torn or bit-flipped lines and
+  mismatched headers are refused with :class:`CheckpointError`, never
+  silently misread.
 
 All checkpoint writes are atomic (tmp + fsync + rename, via
 :mod:`repro.atomicio`): a crash mid-write leaves the previous
@@ -55,6 +64,9 @@ FORMAT_VERSION = 1
 
 #: Schema version of *run* checkpoints (the generator-level payload).
 RUN_FORMAT_VERSION = 1
+
+#: Schema version of campaign journals (the harness-level JSONL file).
+CAMPAIGN_FORMAT_VERSION = 1
 
 
 class CheckpointError(Exception):
@@ -265,3 +277,98 @@ def load_run_checkpoint(path: Union[str, Path]) -> dict:
             "(truncated or corrupted file)"
         )
     return payload
+
+
+# ----------------------------------------------------------------------
+# Campaign journals (harness-level JSONL; crash-safe, resumable)
+# ----------------------------------------------------------------------
+
+
+def _line_hash(record: dict) -> str:
+    """Canonical hash of one journal record, excluding its seal."""
+    body = {k: v for k, v in record.items() if k != "sha"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def seal_journal_record(record: dict) -> dict:
+    """Return ``record`` with its per-line ``sha`` seal stamped in.
+
+    Every journal line carries its own content hash so corruption is
+    localized: :func:`load_campaign_journal` reports exactly which line
+    is torn or bit-flipped instead of a whole-file parse error.
+    """
+    sealed = dict(record)
+    sealed["sha"] = _line_hash(sealed)
+    return sealed
+
+
+def check_journal_record(record: dict, lineno: int, path) -> None:
+    """Verify one journal line's seal; raise :class:`CheckpointError`."""
+    if not isinstance(record, dict) or "sha" not in record:
+        raise CheckpointError(
+            f"campaign journal {path}:{lineno}: record has no seal "
+            "(not a campaign journal, or written by an incompatible build)"
+        )
+    if record["sha"] != _line_hash(record):
+        raise CheckpointError(
+            f"campaign journal {path}:{lineno}: line failed its "
+            "content-hash check (torn or corrupted record)"
+        )
+
+
+def save_campaign_journal(path: Union[str, Path], records: Sequence[dict]) -> None:
+    """Atomically (re)write a whole campaign journal as sealed JSONL.
+
+    The journal is small (one line per campaign cell), so the whole
+    file is rewritten through :mod:`repro.atomicio` on every update: a
+    SIGKILL mid-write leaves the previous complete journal intact,
+    never a torn tail line.  Records that already carry a valid seal
+    are written as-is; the rest are sealed here.
+    """
+    lines = []
+    for record in records:
+        if record.get("sha") != _line_hash(record):
+            record = seal_journal_record(record)
+        lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+    atomic_write_text(path, "\n".join(lines) + "\n")
+
+
+def load_campaign_journal(path: Union[str, Path]) -> List[dict]:
+    """Read and integrity-check a campaign journal.
+
+    Returns the sealed records (header first).  Refuses — with a
+    :class:`CheckpointError` naming the offending line — on unreadable
+    files, non-JSON or unsealed lines, per-line hash failures, a
+    missing or malformed header, and unknown schema versions.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read campaign journal {path}: {exc}") from exc
+    records: List[dict] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"campaign journal {path}:{lineno}: not valid JSON ({exc})"
+            ) from exc
+        check_journal_record(record, lineno, path)
+        records.append(record)
+    if not records:
+        raise CheckpointError(f"campaign journal {path} is empty")
+    header = records[0]
+    if header.get("kind") != "campaign-header":
+        raise CheckpointError(
+            f"campaign journal {path}: first record must be the "
+            f"campaign-header, got {header.get('kind')!r}"
+        )
+    if header.get("format") != CAMPAIGN_FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported campaign journal format {header.get('format')!r} "
+            f"(this build reads format {CAMPAIGN_FORMAT_VERSION})"
+        )
+    return records

@@ -1,24 +1,38 @@
-"""Experiment harness: runners, table rendering, paper reference data."""
+"""Experiment harness: runners, campaign journal, tables, paper data."""
 
 from . import paper_data
+from .campaign import (
+    CampaignJournal,
+    campaign_scope,
+    get_active_campaign,
+    set_active_campaign,
+)
 from .runner import (
     AggregateResult,
+    SeedFailure,
     compiled_circuit_for,
     run_gatest,
     run_matrix,
     set_default_eval_jobs,
+    set_default_seed_jobs,
 )
 from .tables import TextTable, fmt_mean_std, fmt_time, mean_std
 
 __all__ = [
     "AggregateResult",
+    "CampaignJournal",
+    "SeedFailure",
     "TextTable",
+    "campaign_scope",
     "compiled_circuit_for",
     "fmt_mean_std",
     "fmt_time",
+    "get_active_campaign",
     "mean_std",
     "paper_data",
     "run_gatest",
-    "set_default_eval_jobs",
     "run_matrix",
+    "set_active_campaign",
+    "set_default_eval_jobs",
+    "set_default_seed_jobs",
 ]

@@ -1,0 +1,378 @@
+"""Campaign journal: crash-safe resume for multi-run experiment campaigns.
+
+PR 4 made a *single* GATEST run crash-safe (``gatest run --checkpoint``);
+this module does the same for the harness's *campaign loop* — the
+(circuit, config-label, seed) matrix behind every paper table.  Each
+cell is a journaled unit of work:
+
+* :class:`CampaignJournal` owns a sealed JSONL journal (written through
+  :mod:`repro.atomicio`, integrity-checked by
+  :mod:`repro.core.checkpoint`).  The header binds the campaign's
+  identity — table, scale, seed list, schema version — and each
+  ``run_matrix`` call additionally binds its circuit list and config
+  digests (:meth:`CampaignJournal.bind`), so a resumed journal that no
+  longer matches the code/config that wrote it is refused, never
+  silently misread.
+* Completed cells store the full :class:`~repro.core.results.TestGenResult`
+  (round-tripped by :func:`result_to_json` / :func:`result_from_json`),
+  so a resume *replays* them bit-identically — the re-emitted table text
+  is byte-identical to an uninterrupted run's.
+* Failed cells (a seed that crashed/hung past its retry budget) store
+  the error instead; they are *not* replayed, so a resume re-attempts
+  exactly the work that never finished.
+
+The journal is attached to the harness with :func:`campaign_scope`
+(or :func:`set_active_campaign`); ``run_gatest`` consults the active
+journal per seed.  ``python -m repro.harness.experiments --journal J
+[--resume]`` wires this up from the command line.
+
+Counters (see docs/TELEMETRY.md): ``campaign.cells.completed`` /
+``campaign.cells.skipped`` / ``campaign.cells.failed`` and
+``campaign.resumed``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core.checkpoint import (
+    CAMPAIGN_FORMAT_VERSION,
+    CheckpointError,
+    load_campaign_journal,
+    save_campaign_journal,
+    seal_journal_record,
+)
+from ..core.fitness import Phase
+from ..core.results import StageEvent, TestGenResult
+from ..faults.model import Fault
+from ..faults.transition import TransitionFault
+from ..telemetry import get_collector
+
+
+# ----------------------------------------------------------------------
+# TestGenResult <-> JSON
+# ----------------------------------------------------------------------
+
+
+def _fault_to_json(fault: object) -> list:
+    if isinstance(fault, TransitionFault):
+        return ["tr", fault.node, fault.slow_to]
+    if isinstance(fault, Fault):
+        return ["sa", fault.node, fault.pin, fault.stuck_at]
+    raise TypeError(f"cannot journal fault of type {type(fault).__name__}")
+
+
+def _fault_from_json(data: Sequence) -> object:
+    tag = data[0]
+    if tag == "tr":
+        return TransitionFault(node=data[1], slow_to=data[2])
+    if tag == "sa":
+        return Fault(node=data[1], pin=data[2], stuck_at=data[3])
+    raise CheckpointError(f"unknown journaled fault tag {tag!r}")
+
+
+def result_to_json(result: TestGenResult) -> dict:
+    """A JSON-serializable rendering of one completed run's result.
+
+    Everything the aggregate tables and figures read is kept — the
+    stage trace and per-fault detections included — so a replayed cell
+    is indistinguishable from a freshly executed one.
+    """
+    return {
+        "circuit_name": result.circuit_name,
+        "test_sequence": [list(v) for v in result.test_sequence],
+        "detected": result.detected,
+        "total_faults": result.total_faults,
+        "elapsed_seconds": result.elapsed_seconds,
+        "ga_evaluations": result.ga_evaluations,
+        "ga_runs": result.ga_runs,
+        "phase_transitions": [[i, p.name] for i, p in result.phase_transitions],
+        "trace": [
+            [e.kind, e.phase.name, e.frames, e.detected, e.committed]
+            for e in result.trace
+        ],
+        "detections": [
+            [_fault_to_json(fault), frame] for fault, frame in result.detections
+        ],
+    }
+
+
+def result_from_json(data: dict) -> TestGenResult:
+    """Rebuild a :class:`TestGenResult` journaled by :func:`result_to_json`."""
+    try:
+        return TestGenResult(
+            circuit_name=data["circuit_name"],
+            test_sequence=[list(v) for v in data["test_sequence"]],
+            detected=data["detected"],
+            total_faults=data["total_faults"],
+            elapsed_seconds=data["elapsed_seconds"],
+            ga_evaluations=data["ga_evaluations"],
+            ga_runs=data["ga_runs"],
+            phase_transitions=[
+                (i, Phase[name]) for i, name in data["phase_transitions"]
+            ],
+            trace=[
+                StageEvent(kind, Phase[phase], frames, detected, committed)
+                for kind, phase, frames, detected, committed in data["trace"]
+            ],
+            detections=[
+                (_fault_from_json(fault), frame)
+                for fault, frame in data["detections"]
+            ],
+        )
+    except (KeyError, IndexError, TypeError) as exc:
+        raise CheckpointError(
+            f"campaign journal cell result is malformed: {exc!r}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# The journal
+# ----------------------------------------------------------------------
+
+
+def _cell_key(circuit: str, label: str, seed: int, scale: float) -> Tuple:
+    return (circuit, label, int(seed), repr(float(scale)))
+
+
+class CampaignJournal:
+    """One campaign's journal: header + bindings + one record per cell.
+
+    Create with :meth:`create` (fresh campaign, overwrites any stale
+    journal at ``path``) or :meth:`create` with ``resume=True`` (loads
+    and integrity-checks the existing journal, refusing on any identity
+    mismatch).  Every completed or failed cell triggers a whole-file
+    atomic rewrite — the journal is one line per cell, so this stays
+    cheap, and a SIGKILL at any instant leaves a complete, loadable
+    journal behind.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        header: dict,
+        records: List[dict],
+        resumed: bool,
+        collector=None,
+    ) -> None:
+        self.path = Path(path)
+        self.header = header
+        self.resumed = resumed
+        self.collector = collector if collector is not None else get_collector()
+        self._records = records
+        self._cells: Dict[Tuple, dict] = {}
+        self._bind_count = 0
+        for record in records:
+            if record.get("kind") == "campaign-cell":
+                key = _cell_key(
+                    record["circuit"], record["label"],
+                    record["seed"], record["scale"],
+                )
+                self._cells[key] = record
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: Union[str, Path],
+        *,
+        table: str,
+        scale: float,
+        seeds: Sequence[int],
+        resume: bool = False,
+        collector=None,
+    ) -> "CampaignJournal":
+        """Open a campaign journal at ``path``.
+
+        Fresh mode writes a new header (clobbering any previous journal
+        at ``path`` — a journal is per-campaign state, not an archive).
+        ``resume=True`` requires an existing journal whose header
+        matches ``table`` / ``scale`` / ``seeds`` exactly; anything
+        else — missing file, corrupt line, unknown schema, different
+        campaign identity — raises :class:`CheckpointError`.
+        """
+        header = {
+            "kind": "campaign-header",
+            "format": CAMPAIGN_FORMAT_VERSION,
+            "table": str(table),
+            "scale": float(scale),
+            "seeds": [int(s) for s in seeds],
+        }
+        if resume:
+            records = load_campaign_journal(path)
+            found = records[0]
+            for field in ("table", "scale", "seeds"):
+                if found.get(field) != header[field]:
+                    raise CheckpointError(
+                        f"campaign journal {path} belongs to a different "
+                        f"campaign: {field} is {found.get(field)!r}, this "
+                        f"run wants {header[field]!r} (use a fresh journal "
+                        "or rerun with the original parameters)"
+                    )
+            journal = cls(path, found, records, resumed=True,
+                          collector=collector)
+            journal.collector.inc("campaign.resumed")
+            return journal
+        sealed = seal_journal_record(header)
+        journal = cls(path, sealed, [sealed], resumed=False,
+                      collector=collector)
+        journal._flush()
+        return journal
+
+    def _flush(self) -> None:
+        save_campaign_journal(self.path, self._records)
+
+    # -- identity bindings ---------------------------------------------
+
+    def bind(self, circuits: Sequence[str], digests: Dict[str, str]) -> None:
+        """Bind one ``run_matrix`` group's circuits and config digests.
+
+        Groups are matched positionally across sessions (a campaign
+        re-runs the same table code, so group ``i`` on resume must be
+        the same group ``i`` that was journaled).  A mismatch means the
+        configs or circuit lists changed since the journal was written;
+        the journal is refused rather than silently mixing results.
+        """
+        binding = {
+            "kind": "campaign-binding",
+            "group": self._bind_count,
+            "circuits": [str(c) for c in circuits],
+            "digests": dict(sorted(digests.items())),
+        }
+        self._bind_count += 1
+        for record in self._records:
+            if (record.get("kind") == "campaign-binding"
+                    and record.get("group") == binding["group"]):
+                for field in ("circuits", "digests"):
+                    if record.get(field) != binding[field]:
+                        raise CheckpointError(
+                            f"campaign journal {self.path}: group "
+                            f"{binding['group']} {field} changed since the "
+                            f"journal was written (journal has "
+                            f"{record.get(field)!r}, this run produces "
+                            f"{binding[field]!r}); configs or circuit lists "
+                            "must not change across a resume"
+                        )
+                return
+        self._records.append(seal_journal_record(binding))
+        self._flush()
+
+    # -- cells ----------------------------------------------------------
+
+    def lookup(
+        self, circuit: str, label: str, seed: int, scale: float, digest: str
+    ) -> Optional[dict]:
+        """The journaled *completed* result for one cell, or ``None``.
+
+        ``None`` means the cell must be (re-)executed: it was never
+        journaled, or it was journaled as failed.  A journaled cell
+        whose config digest differs from ``digest`` is a refusal, not a
+        miss — executing it would silently mix two different configs'
+        results in one table.  Completed hits count
+        ``campaign.cells.skipped``.
+        """
+        record = self._cells.get(_cell_key(circuit, label, seed, scale))
+        if record is None:
+            return None
+        if record["config_digest"] != digest:
+            raise CheckpointError(
+                f"campaign journal {self.path}: cell ({circuit!r}, "
+                f"{label!r}, seed {seed}) was journaled under config "
+                f"digest {record['config_digest'][:12]}…, but this run's "
+                f"config digests to {digest[:12]}… — the config changed "
+                "since the journal was written; use a fresh journal"
+            )
+        if record["status"] != "ok":
+            return None
+        self.collector.inc("campaign.cells.skipped")
+        return record["result"]
+
+    def record_cell(
+        self,
+        circuit: str,
+        label: str,
+        seed: int,
+        scale: float,
+        digest: str,
+        *,
+        result: Optional[dict] = None,
+        error: Optional[str] = None,
+        attempts: int = 1,
+    ) -> None:
+        """Journal one executed cell (completed or failed) atomically.
+
+        Exactly one of ``result`` (completed) / ``error`` (failed) must
+        be given.  A re-executed cell (a failed one retried on resume)
+        replaces its previous record in place.
+        """
+        if (result is None) == (error is None):
+            raise ValueError("record_cell takes exactly one of result/error")
+        record = {
+            "kind": "campaign-cell",
+            "circuit": str(circuit),
+            "label": str(label),
+            "seed": int(seed),
+            "scale": float(scale),
+            "config_digest": digest,
+            "status": "ok" if result is not None else "failed",
+        }
+        if result is not None:
+            record["result"] = result
+            self.collector.inc("campaign.cells.completed")
+        else:
+            record["error"] = error
+            record["attempts"] = attempts
+            self.collector.inc("campaign.cells.failed")
+        sealed = seal_journal_record(record)
+        key = _cell_key(circuit, label, seed, scale)
+        previous = self._cells.get(key)
+        if previous is not None:
+            self._records[self._records.index(previous)] = sealed
+        else:
+            self._records.append(sealed)
+        self._cells[key] = sealed
+        self._flush()
+
+    # -- inspection ------------------------------------------------------
+
+    def cells(self, status: Optional[str] = None) -> List[dict]:
+        """All journaled cell records, optionally filtered by status."""
+        found = [r for r in self._records if r.get("kind") == "campaign-cell"]
+        if status is not None:
+            found = [r for r in found if r.get("status") == status]
+        return found
+
+
+# ----------------------------------------------------------------------
+# The active campaign (module default, like telemetry's collector)
+# ----------------------------------------------------------------------
+
+_active: Optional[CampaignJournal] = None
+
+
+def get_active_campaign() -> Optional[CampaignJournal]:
+    """The journal ``run_gatest`` consults, or ``None`` (the default)."""
+    return _active
+
+
+def set_active_campaign(
+    journal: Optional[CampaignJournal],
+) -> Optional[CampaignJournal]:
+    """Install ``journal`` as the active campaign; returns the previous."""
+    global _active
+    previous = _active
+    _active = journal
+    return previous
+
+
+@contextmanager
+def campaign_scope(journal: CampaignJournal) -> Iterator[CampaignJournal]:
+    """Scope ``journal`` as the active campaign for a ``with`` block."""
+    previous = set_active_campaign(journal)
+    try:
+        yield journal
+    finally:
+        set_active_campaign(previous)

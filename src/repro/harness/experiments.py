@@ -10,6 +10,14 @@ shape notes).  The command-line entry point prints them side by side::
 long in pure Python — the paper itself reports 105 hours for s35932 on
 its fastest configuration); the default scale keeps every table in the
 minutes range while preserving each experiment's structure.
+
+Long campaigns are made restartable with ``--journal J.jsonl``: every
+(circuit, config, seed) cell is journaled crash-safely as it completes,
+and ``--resume`` replays completed cells bit-identically instead of
+re-running them — the resumed output is byte-identical to an
+uninterrupted run's (docs/ROBUSTNESS.md).  ``--jobs N`` fans seeds out
+over fault-isolated worker processes; ``--trace`` / ``--metrics``
+record the whole campaign's telemetry, worker traces included.
 """
 
 from __future__ import annotations
@@ -444,20 +452,67 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fault-sharded candidate evaluation over N "
                              "worker processes per run (bit-identical "
                              "results; see docs/PERFORMANCE.md)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run up to N seeds in parallel, each in its own "
+                             "fault-isolated worker process (crashed/hung "
+                             "seeds are retried, then reported as failed "
+                             "cells instead of killing the table)")
+    parser.add_argument("--journal", default=None, metavar="J.jsonl",
+                        help="campaign journal: record every (circuit, "
+                             "config, seed) cell crash-safely as it "
+                             "completes (see docs/ROBUSTNESS.md)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume the --journal campaign: replay "
+                             "completed cells bit-identically, re-run only "
+                             "the rest")
+    parser.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                        help="write the campaign's telemetry trace as JSONL")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics summary after the tables")
     args = parser.parse_args(argv)
 
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal")
     if args.eval_jobs is not None:
         from .runner import set_default_eval_jobs
 
         set_default_eval_jobs(args.eval_jobs)
+    if args.jobs is not None:
+        from .runner import set_default_seed_jobs
+
+        set_default_seed_jobs(args.jobs)
     seeds = list(range(1, args.seeds + 1))
     names = list(TABLES) if args.table == "all" else [args.table]
-    for name in names:
-        circuits = args.circuits
-        if circuits is None and args.full and name.isdigit():
-            circuits = FULL_CIRCUITS.get(int(name))
-        print(TABLES[name](args.scale, seeds, circuits))
-        print()
+
+    from contextlib import ExitStack
+
+    from ..cli import _finish_telemetry, _make_collector
+    from ..core.checkpoint import CheckpointError
+    from ..telemetry import use
+    from .campaign import CampaignJournal, campaign_scope
+
+    collector = _make_collector(args)
+    with ExitStack() as stack:
+        stack.enter_context(use(collector))
+        if args.journal:
+            try:
+                journal = CampaignJournal.create(
+                    args.journal, table=args.table, scale=args.scale,
+                    seeds=seeds, resume=args.resume, collector=collector,
+                )
+            except CheckpointError as exc:
+                raise SystemExit(f"error: {exc}")
+            stack.enter_context(campaign_scope(journal))
+        try:
+            for name in names:
+                circuits = args.circuits
+                if circuits is None and args.full and name.isdigit():
+                    circuits = FULL_CIRCUITS.get(int(name))
+                print(TABLES[name](args.scale, seeds, circuits))
+                print()
+        except CheckpointError as exc:
+            raise SystemExit(f"error: {exc}")
+    _finish_telemetry(args, collector)
     return 0
 
 

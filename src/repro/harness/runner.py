@@ -6,30 +6,68 @@ parameter shrinks the synthetic circuits proportionally (sequential
 depth preserved) so the same experiment *structure* can run at laptop
 speed; the full-scale numbers are produced by the same code with
 ``scale=1.0``.
+
+Seed-level parallelism (``jobs > 1``) runs each seed in its *own*
+single-worker process pool — fault isolation: one crashed or hung seed
+worker cannot take sibling seeds' futures down with it.  Failed seeds
+are retried under a :class:`~repro.parallel.resilience.RetryPolicy`
+(``REPRO_SEED_TIMEOUT`` / ``REPRO_SEED_RETRIES``) and, once the budget
+is exhausted, reported as :class:`SeedFailure` entries on
+``AggregateResult.failed_seeds`` — surviving seeds still aggregate.
+``REPRO_CHAOS`` injects deterministic worker crashes/hangs at this
+level too (docs/ROBUSTNESS.md).  When a campaign journal is active
+(:mod:`repro.harness.campaign`), every (circuit, label, seed) cell is
+journaled and completed cells are replayed instead of re-run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..circuit.netlist import Circuit
 from ..circuit.synth import synthesize_named
 from ..core.config import TestGenConfig
 from ..core.generator import GaTestGenerator
 from ..core.results import TestGenResult
+from ..parallel.resilience import (
+    SEED_RETRIES_ENV,
+    SEED_TIMEOUT_ENV,
+    ChaosConfig,
+    RetryPolicy,
+)
+from ..sim.codegen import resolve_kernel_name
 from ..sim.compile import CompiledCircuit, compile_circuit
-from ..telemetry.collector import NullCollector, get_collector
+from ..telemetry.collector import NullCollector, TelemetryCollector, get_collector
+from .campaign import get_active_campaign, result_from_json, result_to_json
 from .tables import mean_std
+
+
+@dataclass(frozen=True)
+class SeedFailure:
+    """One seed that exhausted its retry budget and produced no result."""
+
+    seed: int
+    error: str
+    attempts: int
 
 
 @dataclass
 class AggregateResult:
-    """Mean/σ statistics over a batch of GATEST runs on one circuit."""
+    """Mean/σ statistics over a batch of GATEST runs on one circuit.
+
+    ``failed_seeds`` lists seeds whose workers crashed, hung or errored
+    past the retry budget; their runs are absent from ``runs`` and from
+    every statistic.  Callers that need all seeds must check it — the
+    harness's progress lines and the campaign journal both surface it.
+    """
 
     circuit: str
     total_faults: int
     runs: List[TestGenResult] = field(default_factory=list)
+    failed_seeds: List[SeedFailure] = field(default_factory=list)
 
     @property
     def n_runs(self) -> int:
@@ -78,6 +116,11 @@ _circuit_cache: Dict[tuple, CompiledCircuit] = {}
 #: picks it up without threading a parameter through each table builder.
 _default_eval_jobs: Optional[int] = None
 
+#: Process-wide default for seed-level parallelism, applied when
+#: :func:`run_gatest` is called with ``jobs=None``.  Set by
+#: ``repro.harness.experiments --jobs``.
+_default_seed_jobs: Optional[int] = None
+
 
 def set_default_eval_jobs(jobs: Optional[int]) -> Optional[int]:
     """Install the harness-wide ``eval_jobs`` default; returns the old one.
@@ -86,10 +129,25 @@ def set_default_eval_jobs(jobs: Optional[int]) -> Optional[int]:
     process parallelism (``run_gatest(jobs=...)``) and candidate-level
     sharding multiply: with both active, expect ``jobs * eval_jobs``
     worker processes — see docs/PERFORMANCE.md before combining them.
+    The default is resolved into the config *before* seeds are shipped
+    to seed workers, so it applies inside the pool as well.
     """
     global _default_eval_jobs
     previous = _default_eval_jobs
     _default_eval_jobs = jobs
+    return previous
+
+
+def set_default_seed_jobs(jobs: Optional[int]) -> Optional[int]:
+    """Install the harness-wide seed-parallelism default; returns the old.
+
+    Applies to every :func:`run_gatest` call that leaves ``jobs`` at
+    ``None`` — which is how ``experiments --jobs N`` parallelizes whole
+    tables without threading a parameter through each table builder.
+    """
+    global _default_seed_jobs
+    previous = _default_seed_jobs
+    _default_seed_jobs = jobs
     return previous
 
 
@@ -107,13 +165,188 @@ def _run_one_seed(
     seed: int,
     collector: Optional[NullCollector] = None,
 ) -> TestGenResult:
-    """Worker for parallel multi-seed runs (must be module-level so it
-    pickles for :mod:`concurrent.futures`)."""
-    from dataclasses import replace
-
+    """Run one seed in this process (the serial / degraded path)."""
     return GaTestGenerator(
         compiled, replace(config, seed=seed), collector=collector
     ).run()
+
+
+def _seed_worker(
+    compiled: CompiledCircuit,
+    config: TestGenConfig,
+    seed: int,
+    task_seq: int,
+    collect: bool,
+) -> Tuple[TestGenResult, Optional[list]]:
+    """Pool worker for one seed (module-level so it pickles).
+
+    Honors ``REPRO_CHAOS`` exactly like the evaluator's shard workers:
+    the injected failure is a pure function of ``(chaos seed,
+    task_seq)``, and the parent hands every attempt a fresh monotonic
+    ``task_seq`` — so chaos runs replay deterministically and a retried
+    seed draws a fresh decision.  When ``collect`` is set the worker
+    records into its own :class:`TelemetryCollector` and ships the
+    records back with the result for the parent to merge under a
+    ``worker.<seed>`` scope.
+    """
+    chaos = ChaosConfig.from_env()
+    if chaos is not None:
+        action = chaos.decide(task_seq)
+        if action == "crash":
+            os._exit(75)
+        elif action == "hang":
+            time.sleep(chaos.hang_seconds)
+    collector = TelemetryCollector(source="repro.harness.worker") if collect else None
+    result = _run_one_seed(compiled, config, seed, collector)
+    return result, (collector.records() if collect else None)
+
+
+def _kill_seed_pool(pool) -> None:
+    """Hard-stop one seed's pool: cancel, terminate, reap.
+
+    Mirrors the evaluator's teardown — a hung worker never responds to
+    a graceful shutdown, and an abandoned one would orphan.
+    """
+    if pool is None:
+        return
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for proc in processes:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    for proc in processes:
+        try:
+            proc.join(timeout=5.0)
+        except Exception:
+            pass
+
+
+def _run_seed_pool(
+    compiled: CompiledCircuit,
+    config: TestGenConfig,
+    seeds: Sequence[int],
+    jobs: int,
+    collector: NullCollector,
+    policy: Optional[RetryPolicy] = None,
+) -> Tuple[Dict[int, Tuple[TestGenResult, Optional[list]]], Dict[int, SeedFailure]]:
+    """Fault-isolated, self-healing multi-seed fan-out.
+
+    Each seed runs in its own single-worker pool, at most ``jobs``
+    concurrently — so one seed's crash (``BrokenProcessPool``) or hang
+    (per-seed ``task_timeout``) is *its* failure alone; sibling seeds'
+    futures are untouched.  A failed seed is retried up to
+    ``policy.max_retries`` times with backoff, each attempt in a fresh
+    pool (counted by ``harness.seed.retries``); exhaustion yields a
+    :class:`SeedFailure`.  If pools cannot be created at all the pool
+    path degrades stickily to in-process execution for every seed still
+    outstanding.  Returns ``(results, failures)`` keyed by seed, where
+    each result is ``(TestGenResult, shipped-back trace records or
+    None)``.
+    """
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+    if policy is None:
+        policy = RetryPolicy.from_env(
+            timeout_env=SEED_TIMEOUT_ENV,
+            retries_env=SEED_RETRIES_ENV,
+            default_timeout=None,
+        )
+    collect = collector.enabled
+    results: Dict[int, Tuple[TestGenResult, Optional[list]]] = {}
+    failures: Dict[int, SeedFailure] = {}
+    errors: Dict[int, str] = {}
+    attempts: Dict[int, int] = {seed: 0 for seed in seeds}
+    #: (seed, earliest monotonic start time) — FIFO plus retry backoff.
+    pending: List[Tuple[int, float]] = [(seed, 0.0) for seed in seeds]
+    #: seed -> (pool, future, deadline or None)
+    active: Dict[int, tuple] = {}
+    task_seq = 0
+    in_process = False
+
+    def retry_or_fail(seed: int) -> None:
+        if attempts[seed] <= policy.max_retries:
+            if collector.enabled:
+                collector.inc("harness.seed.retries")
+            backoff = policy.backoff(attempts[seed] - 1)
+            pending.append((seed, time.monotonic() + backoff))
+        else:
+            failures[seed] = SeedFailure(
+                seed=seed, error=errors[seed], attempts=attempts[seed]
+            )
+
+    try:
+        while pending or active:
+            now = time.monotonic()
+            while pending and len(active) < jobs and not in_process:
+                ready = next(
+                    (i for i, (_, t0) in enumerate(pending) if now >= t0), None
+                )
+                if ready is None:
+                    break
+                seed, _ = pending.pop(ready)
+                try:
+                    pool = ProcessPoolExecutor(max_workers=1)
+                    future = pool.submit(
+                        _seed_worker, compiled, config, seed, task_seq, collect
+                    )
+                except OSError:
+                    # No process support here at all: degrade stickily
+                    # to in-process execution (drain active first).
+                    pending.append((seed, 0.0))
+                    in_process = True
+                    break
+                attempts[seed] += 1
+                task_seq += 1
+                deadline = (
+                    now + policy.task_timeout
+                    if policy.task_timeout is not None else None
+                )
+                active[seed] = (pool, future, deadline)
+            if not active:
+                if in_process:
+                    break
+                time.sleep(0.01)  # only retry backoffs outstanding
+                continue
+            wait(
+                [entry[1] for entry in active.values()],
+                timeout=0.1,
+                return_when=FIRST_COMPLETED,
+            )
+            now = time.monotonic()
+            for seed in list(active):
+                pool, future, deadline = active[seed]
+                if future.done():
+                    try:
+                        results[seed] = future.result()
+                    except Exception as exc:
+                        detail = str(exc).strip() or type(exc).__name__
+                        errors[seed] = f"{type(exc).__name__}: {detail}"
+                        retry_or_fail(seed)
+                    _kill_seed_pool(pool)
+                    del active[seed]
+                elif deadline is not None and now >= deadline:
+                    errors[seed] = (
+                        f"seed worker exceeded the {policy.task_timeout:.1f}s "
+                        "per-seed timeout (hung or thrashing worker)"
+                    )
+                    _kill_seed_pool(pool)
+                    del active[seed]
+                    retry_or_fail(seed)
+    finally:
+        for pool, _future, _deadline in active.values():
+            _kill_seed_pool(pool)
+
+    if in_process:
+        for seed, _ in pending:
+            attempts[seed] += 1
+            results[seed] = (_run_one_seed(compiled, config, seed, collector), None)
+
+    return results, failures
 
 
 def run_gatest(
@@ -122,60 +355,128 @@ def run_gatest(
     seeds: Sequence[int],
     scale: float = 1.0,
     circuit: Optional[Circuit] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     eval_jobs: Optional[int] = None,
     collector: Optional[NullCollector] = None,
+    label: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> AggregateResult:
     """Run GATEST over several seeds on one circuit and aggregate.
 
     ``circuit`` overrides the synthetic stand-in (used by tests with
     bundled circuits).  ``jobs > 1`` fans the seeds out over worker
-    processes — GA runs over distinct seeds are fully independent, the
-    easy level of the parallelism the paper's §VI anticipates.
+    processes (one fault-isolated single-worker pool per seed) — GA
+    runs over distinct seeds are fully independent, the easy level of
+    the parallelism the paper's §VI anticipates; ``jobs=None`` takes
+    the :func:`set_default_seed_jobs` harness default (initially 1).
     ``eval_jobs`` shards each run's *candidate evaluation* across worker
     processes instead (within-run parallelism, bit-identical results);
     it overrides both ``config.eval_jobs`` and the harness default set
-    with :func:`set_default_eval_jobs`.  The two levels multiply —
+    with :func:`set_default_eval_jobs`, and is resolved into the config
+    before it is shipped to seed workers.  The two levels multiply —
     prefer seed-level ``jobs`` when there are many seeds, ``eval_jobs``
     when a single run's wall clock is what matters.
 
+    Crashed or hung seed workers are retried per ``retry`` (default:
+    :class:`RetryPolicy` from ``REPRO_SEED_TIMEOUT`` /
+    ``REPRO_SEED_RETRIES``); seeds that exhaust the budget land on
+    ``AggregateResult.failed_seeds`` while surviving seeds aggregate
+    normally.
+
     ``collector`` (default: the installed telemetry collector) wraps the
     batch in a ``harness.run_gatest`` span and is handed to every
-    serial-path generator; worker *processes* record into their own
-    (null) collectors — per-seed traces do not cross the pool boundary.
+    serial-path generator; when telemetry is enabled, pool workers
+    record into their own collectors and their traces are shipped back
+    and merged under ``worker.<seed>`` scopes.
+
+    With an active campaign journal (:mod:`repro.harness.campaign`),
+    each (circuit, ``label``, seed) cell is looked up first — completed
+    cells are replayed bit-identically instead of re-run — and journaled
+    after execution.  ``label`` defaults to a prefix of the config
+    digest, so direct calls journal correctly too.
     """
     if collector is None:
         collector = get_collector()
+    if jobs is None:
+        jobs = _default_seed_jobs if _default_seed_jobs is not None else 1
     if eval_jobs is None:
         eval_jobs = _default_eval_jobs
     if eval_jobs is not None and eval_jobs != config.eval_jobs:
-        from dataclasses import replace
-
         config = replace(config, eval_jobs=eval_jobs)
     compiled = (
         compile_circuit(circuit) if circuit is not None
         else compiled_circuit_for(circuit_name, scale)
     )
-    agg = AggregateResult(circuit=circuit_name, total_faults=0)
+    digest = config.digest()
+    if label is None:
+        label = digest[:12]
+    campaign = get_active_campaign()
+
+    replayed: Dict[int, TestGenResult] = {}
+    to_run: List[int] = []
+    for seed in seeds:
+        data = (
+            campaign.lookup(circuit_name, label, seed, scale, digest)
+            if campaign is not None else None
+        )
+        if data is not None:
+            replayed[seed] = result_from_json(data)
+        else:
+            to_run.append(seed)
+
+    runs_by_seed: Dict[int, TestGenResult] = dict(replayed)
+    failures: Dict[int, SeedFailure] = {}
     with collector.span(
         "harness.run_gatest", circuit=circuit_name, seeds=len(seeds), jobs=jobs
     ):
-        if jobs > 1 and len(seeds) > 1:
-            from concurrent.futures import ProcessPoolExecutor
+        if jobs > 1 and len(to_run) > 1:
+            # Ship the *resolved* kernel name so workers pick the same
+            # simulation backend as the parent would, even when it came
+            # from REPRO_SIM_KERNEL and the worker environment differs.
+            worker_config = config
+            resolved = resolve_kernel_name(config.sim_kernel)
+            if resolved != config.sim_kernel:
+                worker_config = replace(config, sim_kernel=resolved)
+            pool_results, failures = _run_seed_pool(
+                compiled, worker_config, to_run, jobs, collector, retry
+            )
+            for seed in to_run:
+                if seed not in pool_results:
+                    continue
+                result, records = pool_results[seed]
+                if records is not None:
+                    collector.merge_worker_trace(f"worker.{seed}", records)
+                runs_by_seed[seed] = result
+        else:
+            for seed in to_run:
+                runs_by_seed[seed] = _run_one_seed(compiled, config, seed, collector)
 
-            with ProcessPoolExecutor(max_workers=min(jobs, len(seeds))) as pool:
-                results = list(
-                    pool.map(_run_one_seed, [compiled] * len(seeds),
-                             [config] * len(seeds), list(seeds))
+    agg = AggregateResult(circuit=circuit_name, total_faults=0)
+    for seed in seeds:
+        if seed in runs_by_seed:
+            result = runs_by_seed[seed]
+            agg.runs.append(result)
+            if campaign is not None and seed not in replayed:
+                campaign.record_cell(
+                    circuit_name, label, seed, scale, digest,
+                    result=result_to_json(result),
                 )
         else:
-            results = [
-                _run_one_seed(compiled, config, seed, collector)
-                for seed in seeds
-            ]
-    for result in results:
-        agg.total_faults = result.total_faults
-        agg.runs.append(result)
+            failure = failures[seed]
+            agg.failed_seeds.append(failure)
+            if campaign is not None:
+                campaign.record_cell(
+                    circuit_name, label, seed, scale, digest,
+                    error=failure.error, attempts=failure.attempts,
+                )
+    totals = {r.total_faults for r in agg.runs}
+    if len(totals) > 1:
+        raise RuntimeError(
+            f"runs on {circuit_name!r} disagree on the collapsed fault-list "
+            f"size ({sorted(totals)}); seeds of one aggregate must share a "
+            "circuit and fault list — refusing to aggregate"
+        )
+    agg.total_faults = totals.pop() if totals else 0
     return agg
 
 
@@ -186,30 +487,45 @@ def run_matrix(
     scale: float = 1.0,
     progress: Optional[Callable[[str], None]] = None,
     collector: Optional[NullCollector] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, AggregateResult]]:
     """Run a {config label -> config} matrix over several circuits.
 
     Returns ``results[circuit][label]``.  ``progress`` (if given) is
     called with a human-readable line after each cell completes — the
-    full-scale tables take a while and silence reads as a hang.  Each
-    cell runs inside a ``harness.cell`` telemetry span; the progress
-    line's elapsed time is that span's, so the printed and traced
-    timings are one measurement.
+    full-scale tables take a while and silence reads as a hang; failed
+    seeds are flagged on the line.  Each cell runs inside a
+    ``harness.cell`` telemetry span; the progress line's elapsed time is
+    that span's, so the printed and traced timings are one measurement.
+    ``jobs`` is passed through to :func:`run_gatest`.  With an active
+    campaign journal the matrix's circuits and config digests are bound
+    into the journal up front, so a resume against changed configs is
+    refused before any work runs.
     """
     if collector is None:
         collector = get_collector()
+    campaign = get_active_campaign()
+    if campaign is not None:
+        campaign.bind(
+            list(circuit_names),
+            {lbl: cfg.digest() for lbl, cfg in configs.items()},
+        )
     results: Dict[str, Dict[str, AggregateResult]] = {}
     for name in circuit_names:
         results[name] = {}
         for label, config in configs.items():
             with collector.span("harness.cell", circuit=name, label=label) as cell:
                 agg = run_gatest(name, config, seeds, scale=scale,
-                                 collector=collector)
+                                 collector=collector, jobs=jobs, label=label)
             results[name][label] = agg
             if progress is not None:
+                failed = (
+                    f" FAILED seeds {[f.seed for f in agg.failed_seeds]}"
+                    if agg.failed_seeds else ""
+                )
                 progress(
                     f"{name} [{label}] det={agg.det_mean:.1f}/{agg.total_faults}"
                     f" vec={agg.vec_mean:.0f}"
-                    f" ({cell.elapsed:.1f}s)"
+                    f" ({cell.elapsed:.1f}s){failed}"
                 )
     return results

@@ -33,6 +33,13 @@ CHAOS_ENV = "REPRO_CHAOS"
 TIMEOUT_ENV = "REPRO_EVAL_TIMEOUT"
 #: Pool-respawn retry count override.
 RETRIES_ENV = "REPRO_EVAL_RETRIES"
+#: Per-seed-run timeout override for the harness's seed pool, in
+#: seconds (<= 0 disables; unset falls back to no timeout — a whole GA
+#: run has no sane universal wall-clock bound, unlike a shard task).
+SEED_TIMEOUT_ENV = "REPRO_SEED_TIMEOUT"
+#: Seed-pool respawn retry count override (unset: ``REPRO_EVAL_RETRIES``
+#: semantics do not apply here; the default is :data:`DEFAULT_MAX_RETRIES`).
+SEED_RETRIES_ENV = "REPRO_SEED_RETRIES"
 
 #: Default per-shard-task timeout.  Shard tasks are sub-second in normal
 #: operation; minutes of silence means a hung or thrashing worker.
@@ -75,21 +82,27 @@ class RetryPolicy:
         cls,
         task_timeout: Optional[float] = None,
         max_retries: Optional[int] = None,
+        timeout_env: str = TIMEOUT_ENV,
+        retries_env: str = RETRIES_ENV,
+        default_timeout: Optional[float] = DEFAULT_TASK_TIMEOUT,
     ) -> "RetryPolicy":
         """Policy from the environment, with explicit overrides winning.
 
         ``task_timeout`` / ``max_retries`` arguments (when not ``None``)
-        beat ``REPRO_EVAL_TIMEOUT`` / ``REPRO_EVAL_RETRIES``, which beat
-        the defaults.  A timeout <= 0 (argument or environment) disables
-        the bound.
+        beat the ``timeout_env`` / ``retries_env`` environment variables
+        (``REPRO_EVAL_TIMEOUT`` / ``REPRO_EVAL_RETRIES`` by default; the
+        harness's seed pool reads :data:`SEED_TIMEOUT_ENV` /
+        :data:`SEED_RETRIES_ENV` instead), which beat the defaults.  A
+        timeout <= 0 (argument or environment) disables the bound, as
+        does a ``None`` ``default_timeout`` when nothing else sets one.
         """
         if task_timeout is None:
-            raw = os.environ.get(TIMEOUT_ENV, "")
-            task_timeout = float(raw) if raw else DEFAULT_TASK_TIMEOUT
-        if task_timeout <= 0:
+            raw = os.environ.get(timeout_env, "")
+            task_timeout = float(raw) if raw else default_timeout
+        if task_timeout is not None and task_timeout <= 0:
             task_timeout = None
         if max_retries is None:
-            raw = os.environ.get(RETRIES_ENV, "")
+            raw = os.environ.get(retries_env, "")
             max_retries = int(raw) if raw else DEFAULT_MAX_RETRIES
         return cls(max_retries=max_retries, task_timeout=task_timeout)
 

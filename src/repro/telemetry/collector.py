@@ -124,6 +124,9 @@ class NullCollector:
     def stage(self, **fields) -> None:
         """No-op stage record."""
 
+    def merge_worker_trace(self, scope: str, records: List[dict]) -> None:
+        """No-op merge of a worker process's shipped-back trace."""
+
     def records(self) -> List[dict]:
         """The null collector holds no records."""
         return []
@@ -272,6 +275,39 @@ class TelemetryCollector(NullCollector):
                 **{**self._ctx, **attrs},
             )
         )
+
+    def merge_worker_trace(self, scope: str, records: List[dict]) -> None:
+        """Fold a worker process's trace into this (parent) collector.
+
+        ``records`` is what the worker's own ``TelemetryCollector``
+        returned from :meth:`records`, shipped across the pool boundary
+        with its result.  Events are re-emitted here under ``scope``
+        (e.g. ``worker.3`` for the seed-3 worker): span ``path``s are
+        prefixed with ``scope/`` and every event gains a ``scope``
+        attribute, so a merged trace remains one valid trace in which
+        worker-side activity is attributable.  Worker counters are
+        added into the parent's same-named aggregates — campaign-wide
+        totals (simulated frames, cache traffic, retries, …) stay
+        meaningful across the pool boundary.  Worker timestamps are
+        kept worker-relative (each worker's clock starts at its own
+        collector construction); the ``scope`` attribute marks them.
+
+        Increments ``worker.trace.merged`` once per merged trace.
+        """
+        for record in records:
+            kind = record.get("kind")
+            if kind == "meta":
+                continue
+            if kind == "counter":
+                self.inc(record["name"], record["value"])
+                continue
+            merged = dict(record)
+            merged["scope"] = scope
+            if kind == "span":
+                merged["path"] = f"{scope}/{merged['path']}"
+                merged["depth"] = merged["depth"] + 1
+            self._emit(merged)
+        self.inc("worker.trace.merged")
 
     # ------------------------------------------------------------------
     # Inspection / export
