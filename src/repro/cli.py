@@ -287,10 +287,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument("--eval-cache", action="store_true",
                      help="force the chromosome evaluation cache on even "
                           "with --eval-jobs 1 (auto-on when N > 1)")
-    run.add_argument("--kernel", choices=["interp", "codegen"], default=None,
+    run.add_argument("--kernel", choices=["interp", "codegen", "numpy"],
+                     default=None,
                      help="simulation kernel backend (default: codegen, or "
                           "$REPRO_SIM_KERNEL; results are bit-identical — "
-                          "see docs/ARCHITECTURE.md)")
+                          "see docs/KERNELS.md)")
     run.add_argument("--checkpoint", default=None, metavar="CKPT",
                      help="write crash-safe run checkpoints here (GA engine "
                           "only; see docs/ROBUSTNESS.md)")
@@ -316,8 +317,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     fsim.add_argument("--seed", type=int, default=0)
     fsim.add_argument("--scale", type=float, default=1.0)
     fsim.add_argument("-v", "--verbose", action="store_true")
-    fsim.add_argument("--kernel", choices=["interp", "codegen"], default=None,
-                      help="simulation kernel backend (default: codegen)")
+    fsim.add_argument("--kernel", choices=["interp", "codegen", "numpy"],
+                      default=None,
+                      help="simulation kernel backend (default: codegen; "
+                           "see docs/KERNELS.md)")
     fsim.add_argument("--trace", default=None, metavar="OUT.jsonl",
                       help="write a JSONL telemetry trace (docs/TELEMETRY.md)")
     fsim.add_argument("--metrics", action="store_true",

@@ -122,9 +122,11 @@ class TestGenConfig:
     eval_cache: Optional[bool] = None
 
     #: Simulation kernel backend: "interp" (reference interpreter),
-    #: "codegen" (generated straight-line Python, the default) or
-    #: ``None`` (auto: ``REPRO_SIM_KERNEL`` env, else codegen).  Results
-    #: are bit-identical either way (docs/ARCHITECTURE.md).
+    #: "codegen" (generated straight-line Python, the default),
+    #: "numpy" (vectorized plane kernel, falls back to the interpreter
+    #: when numpy is unavailable) or ``None`` (auto: ``REPRO_SIM_KERNEL``
+    #: env, else codegen).  Results are bit-identical either way
+    #: (docs/KERNELS.md).
     sim_kernel: Optional[str] = None
 
     #: Self-healing pool policy for sharded evaluation: per-shard-pass
@@ -148,10 +150,10 @@ class TestGenConfig:
             raise ValueError("eval_jobs must be >= 1")
         if self.n_islands < 1:
             raise ValueError("n_islands must be >= 1")
-        if self.sim_kernel not in (None, "interp", "codegen"):
+        if self.sim_kernel not in (None, "interp", "codegen", "numpy"):
             raise ValueError(
                 f"unknown simulation kernel {self.sim_kernel!r}; "
-                "choose 'interp' or 'codegen'"
+                "choose 'interp', 'codegen' or 'numpy'"
             )
         if self.fault_model not in ("stuck-at", "transition"):
             raise ValueError(

@@ -251,6 +251,7 @@ class FaultSimulator:
             raise ValueError("eval_jobs must be >= 1")
         self.faults: List[Fault] = list(faults)
         self.word_width = word_width
+        self._eval_jobs = eval_jobs
         self.status: List[FaultStatus] = [FaultStatus.UNDETECTED] * len(self.faults)
         self.active: List[int] = list(range(len(self.faults)))
         self.good_state: GoodState = GoodState.unknown(self.compiled.num_ffs)
@@ -428,12 +429,24 @@ class FaultSimulator:
         Faults whose machines currently agree with the good machine can
         often be skipped frame-to-frame; packing divergent faults
         together maximizes how many groups stay quiescent.
+
+        Kernels with a fused vectorized group runner advertise a
+        ``group_width`` (see docs/KERNELS.md); for them groups are
+        widened up to that cap — but never below ``eval_jobs`` groups,
+        so fault sharding still fans out, and only at the default word
+        width (an explicit ``word_width`` is an explicit request).
+        Observables are exact per-fault aggregates, so grouping never
+        changes results.
         """
         ordered = sorted(
             fault_ids,
             key=lambda f: (0 if self.divergence.get(f) else 1, self.faults[f].node),
         )
         width = self.word_width
+        cap = self._kernel.group_width
+        if cap and width == DEFAULT_WORD_WIDTH and len(ordered) > width:
+            per = -(-len(ordered) // max(1, self._eval_jobs))
+            width = min(cap, max(width, ((per + 63) // 64) * 64))
         return [ordered[i:i + width] for i in range(0, len(ordered), width)]
 
     def _injection_tables(self, group: Sequence[int]):
@@ -549,9 +562,12 @@ class FaultSimulator:
     ):
         """Simulate one fault group along the good trace.
 
-        Returns ``(det_word, prop_final, prop_per_frame, faulty_events,
-        final_ff1, final_ff0)`` where ``det_word`` has a bit per slot
-        whose fault was detected at a primary output in some frame.
+        Returns ``(det_word, det_frame, prop_final, prop_per_frame,
+        faulty_events, final_ff1, final_ff0)`` where ``det_word`` has a
+        bit per slot whose fault was detected at a primary output in
+        some frame and ``det_frame`` maps detected slots to the first
+        detecting frame.  Kernel backends that bind ``run_group`` must
+        reproduce this tuple bit for bit (docs/KERNELS.md).
         """
         compiled = self.compiled
         n = compiled.num_nodes
@@ -559,6 +575,12 @@ class FaultSimulator:
         mask = (1 << n_slots) - 1
         if inj is None:
             inj = self._group_injection(group)
+        runner = self._kernel.run_group
+        if runner is not None and n_slots > DEFAULT_WORD_WIDTH:
+            # Fused vectorized path (numpy backend): bit-identical by
+            # the kernel contract; narrow groups stay on bigints where
+            # arbitrary-precision words are already faster.
+            return runner(self, group, trace, count_faulty_events, inj)
         pi_forces, ff_out_forces, ff_pin_forces, injection = inj
 
         # Initialize faulty FF planes: good state broadcast + divergences.

@@ -38,9 +38,13 @@ interpreter automatically (``codegen.fallbacks``), so ``codegen`` is a
 safe default everywhere.
 
 Backend selection: :func:`resolve_kernel_name` resolves an explicit
-``"interp"``/``"codegen"`` request, else the ``REPRO_SIM_KERNEL``
-environment variable, else :data:`DEFAULT_KERNEL` (``"codegen"``).  See
-docs/ARCHITECTURE.md ("Simulation kernels") and docs/PERFORMANCE.md for
+``"interp"``/``"codegen"``/``"numpy"`` request, else the
+``REPRO_SIM_KERNEL`` environment variable, else :data:`DEFAULT_KERNEL`
+(``"codegen"``).  The ``numpy`` backend (:mod:`repro.sim.npkernel`)
+layers a vectorized wide-group runner on top of the generated kernels
+and falls back to the interpreter when numpy is unusable.  See
+docs/KERNELS.md for the kernel-author contract, and
+docs/ARCHITECTURE.md ("Simulation kernels") / docs/PERFORMANCE.md for
 the measured speedups.
 """
 
@@ -67,7 +71,7 @@ from .compile import (
 DEFAULT_KERNEL = "codegen"
 
 #: Recognized backend names.
-KERNEL_NAMES = ("interp", "codegen")
+KERNEL_NAMES = ("interp", "codegen", "numpy")
 
 #: Environment variable consulted when no explicit backend is requested.
 KERNEL_ENV = "REPRO_SIM_KERNEL"
@@ -110,11 +114,26 @@ class SimKernel:
       same contract as :func:`~repro.sim.compile.eval_program_injected`
       with the program bound and the force dicts pre-digested.
 
+    Backends with vectorized wide-group runners (``numpy``) additionally
+    bind the optional hooks (``None`` on the bigint-only backends):
+
+    * ``run_group(sim, group, trace, count_faulty_events, inj)`` — a
+      drop-in fused replacement for one
+      :meth:`~repro.faults.simulator.FaultSimulator._run_group` call,
+      bit-identical by contract (docs/KERNELS.md);
+    * ``run_batch`` — reserved for a fused population pass;
+    * ``group_width`` — the widest fault group the backend wants the
+      simulator to build (the simulator still keeps at least
+      ``eval_jobs`` groups so fault sharding fans out).
+
     ``name`` is the backend actually running (after any fallback);
     ``requested`` is what the caller asked for.
     """
 
-    __slots__ = ("name", "requested", "eval", "make_injection", "eval_injection")
+    __slots__ = (
+        "name", "requested", "eval", "make_injection", "eval_injection",
+        "run_group", "run_batch", "group_width",
+    )
 
     def __init__(
         self,
@@ -123,12 +142,18 @@ class SimKernel:
         eval_fn: Callable[[List[int], List[int], int], None],
         make_injection: Callable[[Dict, Dict], object],
         eval_injection: Callable[[List[int], List[int], int, object], None],
+        run_group: Optional[Callable] = None,
+        run_batch: Optional[Callable] = None,
+        group_width: Optional[int] = None,
     ) -> None:
         self.name = name
         self.requested = requested
         self.eval = eval_fn
         self.make_injection = make_injection
         self.eval_injection = eval_injection
+        self.run_group = run_group
+        self.run_batch = run_batch
+        self.group_width = group_width
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimKernel(name={self.name!r}, requested={self.requested!r})"
@@ -296,8 +321,12 @@ _CACHE: Dict[int, Tuple["weakref.ref", Dict[str, Callable]]] = {}
 
 
 def clear_kernel_cache() -> None:
-    """Drop every cached generated kernel (tests / memory pressure)."""
+    """Drop every cached generated kernel and numpy plan (tests /
+    memory pressure)."""
     _CACHE.clear()
+    from . import npkernel
+
+    npkernel.clear_plan_cache()
 
 
 def _build_kernels(compiled: CompiledCircuit, collector) -> Dict[str, Callable]:
@@ -353,6 +382,23 @@ def _interp_kernel(compiled: CompiledCircuit, requested: str) -> SimKernel:
     )
 
 
+def _fallback_kernel(
+    compiled: CompiledCircuit, requested: str, exc: Exception, collector
+) -> SimKernel:
+    """Warn (naming the requested backend and the exception class), count
+    ``<requested>.fallbacks``, and return the interpreter kernel."""
+    if collector.enabled:
+        collector.inc(f"{requested}.fallbacks")
+    warnings.warn(
+        f"{requested} kernel build failed for "
+        f"{compiled.circuit.name or 'circuit'!r} "
+        f"({type(exc).__name__}: {exc}); falling back to the interpreter",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return _interp_kernel(compiled, requested)
+
+
 def kernel_for(
     compiled: CompiledCircuit,
     name: Optional[str] = None,
@@ -360,10 +406,11 @@ def kernel_for(
 ) -> SimKernel:
     """Resolve and build the simulation kernel for one circuit.
 
-    ``name`` follows :func:`resolve_kernel_name`.  A ``codegen`` request
-    that fails to build (pathological circuit, interpreter limit, …)
-    falls back to the interpreter with a warning and the
-    ``codegen.fallbacks`` counter — never an exception.
+    ``name`` follows :func:`resolve_kernel_name`.  A ``codegen`` or
+    ``numpy`` request that fails to build (pathological circuit,
+    interpreter limit, numpy absent or too old, …) falls back to the
+    interpreter with a warning naming the requested backend and the
+    ``<requested>.fallbacks`` counter — never an exception.
     """
     if collector is None:
         from ..telemetry.collector import get_collector
@@ -377,16 +424,14 @@ def kernel_for(
         good = fns["good"]
         injected = fns["injected"]
     except Exception as exc:  # automatic interpreter fallback
-        if collector.enabled:
-            collector.inc("codegen.fallbacks")
-        warnings.warn(
-            f"codegen kernel build failed for "
-            f"{compiled.circuit.name or 'circuit'!r} ({exc!r}); "
-            "falling back to the interpreter",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return _interp_kernel(compiled, requested)
+        return _fallback_kernel(compiled, requested, exc, collector)
+    if requested == "numpy":
+        from . import npkernel
+
+        try:
+            return npkernel.build(compiled, requested, fns, collector)
+        except Exception as exc:  # numpy absent/too old/build failure
+            return _fallback_kernel(compiled, requested, exc, collector)
     num_nodes = compiled.num_nodes
     arity = {instr[0]: len(instr[3]) for instr in compiled.program}
 

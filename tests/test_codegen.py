@@ -1,18 +1,20 @@
-"""Codegen kernel suite: generated straight-line kernels vs the interpreter.
+"""Kernel backend suite: compiled backends vs the reference interpreter.
 
-The contract under test (ISSUE: codegen simulation kernels): the
-generated kernels must be *bit-identical* to the reference interpreter
-in :mod:`repro.sim.compile` — at the plane level for random inputs and
-injections, at the ``CandidateEval`` level through
-:class:`~repro.faults.simulator.FaultSimulator`, and at the final
-test-set level through full GATEST runs, serial and sharded alike —
-because codegen is the default backend everywhere and must never change
-a result, only the wall clock.
+The contract under test (docs/KERNELS.md): every backend behind the
+kernel seam — the generated straight-line Python ("codegen") and the
+vectorized plane kernel ("numpy") — must be *bit-identical* to the
+reference interpreter in :mod:`repro.sim.compile` — at the plane level
+for random inputs and injections, at the ``CandidateEval`` level
+through :class:`~repro.faults.simulator.FaultSimulator`, and at the
+final test-set level through full GATEST runs, serial and sharded
+alike — because a kernel must never change a result, only the wall
+clock.
 """
 
 from __future__ import annotations
 
 import random
+import sys
 
 import pytest
 
@@ -20,7 +22,7 @@ from repro.circuit import c17, s27, synthesize_named
 from repro.core import GaTestGenerator, TestGenConfig
 from repro.faults import FaultSimulator
 from repro.faults.transition import TransitionFaultSimulator
-from repro.sim import compile_circuit, kernel_for, kernel_source
+from repro.sim import compile_circuit, kernel_for, kernel_source, npkernel
 from repro.sim.codegen import (
     DEFAULT_KERNEL,
     clear_kernel_cache,
@@ -32,6 +34,15 @@ from repro.sim.compile import eval_program, eval_program_injected
 from repro.telemetry import TelemetryCollector
 
 from tests.conftest import random_vectors
+
+
+def _compiled_kernel_params():
+    """The non-interpreter backends, numpy skipped where unusable."""
+    return [
+        pytest.param("codegen"),
+        pytest.param("numpy", marks=pytest.mark.skipif(
+            not npkernel.available(), reason="numpy >= 2.0 unavailable")),
+    ]
 
 
 def _sweep_circuits():
@@ -244,6 +255,107 @@ class TestSimulatorEquivalence:
             ).run()
             assert sharded.test_sequence == baseline.test_sequence
             assert sharded.detected == baseline.detected
+
+
+class TestThreeWayEquivalence:
+    """interp / codegen / numpy × eval_jobs 1/2/4 × stuck-at/transition.
+
+    The circuit is sized so the active fault list exceeds one 64-slot
+    word: that is what engages the numpy backend's fused wide-group
+    runner (narrow groups stay on the shared bigint path, see
+    docs/KERNELS.md), so these cases exercise the vectorized code and
+    not just the delegation shim.
+    """
+
+    CIRCUIT_SCALE = 0.3  # 123 active faults: > 64, so wide groups form
+
+    @pytest.mark.parametrize("model", ["stuck-at", "transition"])
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    @pytest.mark.parametrize("kernel", _compiled_kernel_params())
+    def test_candidate_evals_identical(self, kernel, jobs, model,
+                                       monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_FORCE_SHARD", "1")
+        circuit = synthesize_named("s298", seed=3, scale=self.CIRCUIT_SCALE)
+        cls = (FaultSimulator if model == "stuck-at"
+               else TransitionFaultSimulator)
+        ref = cls(circuit, kernel="interp")
+        sim = cls(circuit, kernel=kernel, eval_jobs=jobs)
+        assert sim.kernel_name == kernel
+        warm = random_vectors(circuit, 4, seed=2)
+        ref.commit(warm)
+        sim.commit(warm)
+        try:
+            for seed in (3, 4):
+                cand = random_vectors(circuit, 2, seed=seed)
+                assert sim.evaluate(cand) == ref.evaluate(cand), (
+                    f"{kernel}/jobs={jobs}/{model} CandidateEval diverged")
+            if model == "stuck-at":
+                cand = random_vectors(circuit, 2, seed=5)
+                assert (sim.evaluate(cand, count_faulty_events=True)
+                        == ref.evaluate(cand, count_faulty_events=True))
+            more = random_vectors(circuit, 2, seed=9)
+            assert sim.commit(more) == ref.commit(more)
+            assert sim.detected_count == ref.detected_count
+        finally:
+            sim.close()
+
+    @pytest.mark.parametrize("model", ["stuck-at", "transition"])
+    @pytest.mark.parametrize("kernel", _compiled_kernel_params())
+    def test_final_test_sets_identical(self, kernel, model):
+        circuit = s27()
+        runs = {
+            name: GaTestGenerator(
+                circuit,
+                TestGenConfig(seed=5, fault_model=model, sim_kernel=name),
+            ).run()
+            for name in ("interp", kernel)
+        }
+        assert runs[kernel].test_sequence == runs["interp"].test_sequence
+        assert runs[kernel].detected == runs["interp"].detected
+        assert runs[kernel].ga_evaluations == runs["interp"].ga_evaluations
+
+    def test_numpy_absent_falls_back_to_interpreter(self, s27_circuit,
+                                                    monkeypatch):
+        """Import shadowing: with numpy unimportable, ``--kernel numpy``
+        degrades to the interpreter with a warning naming the backend
+        and the exception class — never an error, never a wrong result."""
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        clear_kernel_cache()
+        compiled = compile_circuit(s27_circuit)
+        collector = TelemetryCollector()
+        with pytest.warns(RuntimeWarning, match="numpy.*falling back"):
+            sim = FaultSimulator(compiled, kernel="numpy",
+                                 collector=collector)
+        assert sim.kernel_name == "interp"
+        assert collector.counters["numpy.fallbacks"] == 1
+        assert not npkernel.available()
+        # ... and the fallback still simulates correctly end to end.
+        ref = FaultSimulator(compiled, kernel="interp")
+        vectors = random_vectors(s27_circuit, 4, seed=1)
+        assert sim.commit(vectors) == ref.commit(vectors)
+        clear_kernel_cache()
+
+    def test_numpy_selection_and_plan_telemetry(self, s27_circuit):
+        if not npkernel.available():
+            pytest.skip("numpy >= 2.0 unavailable")
+        clear_kernel_cache()
+        npkernel.clear_plan_cache()
+        collector = TelemetryCollector()
+        circuit = synthesize_named("s298", seed=3, scale=self.CIRCUIT_SCALE)
+        sim = FaultSimulator(circuit, kernel="numpy", collector=collector)
+        assert sim.kernel_name == "numpy"
+        assert collector.counters["sim.kernel.numpy"] == 1
+        sim.commit(random_vectors(circuit, 4, seed=1))
+        counters = collector.counters
+        assert counters["numpy.plan.built"] == 1
+        assert counters["numpy.plan.ranks"] > 0
+        assert counters["numpy.group.passes"] >= 1
+        assert counters["numpy.group.slot_frames"] > 0
+        # A second simulator on the same compiled circuit reuses the plan.
+        sim2 = FaultSimulator(sim.compiled, kernel="numpy",
+                              collector=collector)
+        sim2.commit(random_vectors(circuit, 4, seed=1))
+        assert collector.counters["numpy.plan.built"] == 1
 
 
 class TestKernelSelection:
