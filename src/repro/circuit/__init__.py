@@ -3,7 +3,7 @@
 from .bench import BenchParseError, load_bench, parse_bench, save_bench, write_bench
 from .gates import GateType, X
 from .library import build_builtin, c17, list_builtin, mini_fsm, parity_tracker, \
-    resettable_counter, s27, shift_register, uninitializable_loop
+    resettable_counter, resolve_spec, s27, shift_register, uninitializable_loop
 from .netlist import Circuit, CircuitError, Node
 from .profiles import ISCAS89_PROFILES, CircuitProfile, get_profile
 from .synth import profile_of, synthesize, synthesize_named
@@ -16,7 +16,8 @@ __all__ = [
     "ISCAS89_PROFILES", "Node", "Severity", "Violation", "X",
     "build_builtin", "c17", "check", "get_profile", "list_builtin", "load_bench",
     "mini_fsm", "parity_tracker", "parse_bench", "profile_of",
-    "resettable_counter", "s27", "save_bench", "shift_register", "synthesize",
+    "resettable_counter", "resolve_spec", "s27", "save_bench", "shift_register",
+    "synthesize",
     "synthesize_named", "TestabilityReport", "analyze_testability",
     "uninitializable_loop", "validate", "write_bench",
     "VerilogError", "load_verilog", "parse_verilog", "save_verilog", "write_verilog",

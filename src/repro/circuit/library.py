@@ -139,6 +139,35 @@ def mini_fsm() -> Circuit:
     return circuit.finalize()
 
 
+def resolve_spec(spec: str, scale: float = 1.0, seed: int = 0) -> Circuit:
+    """Resolve a circuit spec string to a :class:`Circuit`.
+
+    The one spelling of "name a circuit" shared by the CLI and the job
+    service: a ``.bench`` file path, a :func:`list_builtin` name, or an
+    ISCAS89 profile name (optionally ``name@variant``) synthesized with
+    ``seed``/``scale``.  Raises :class:`ValueError` on an unknown spec —
+    callers map that to their own error surface (``SystemExit`` for the
+    CLI, HTTP 400 for the service).
+    """
+    from pathlib import Path
+
+    from .bench import load_bench
+    from .profiles import ISCAS89_PROFILES
+    from .synth import synthesize_named
+
+    path = Path(spec)
+    if path.suffix == ".bench" and path.exists():
+        return load_bench(path)
+    if spec in list_builtin():
+        return build_builtin(spec)
+    if spec.split("@")[0] in ISCAS89_PROFILES:
+        return synthesize_named(spec.split("@")[0], seed=seed, scale=scale)
+    raise ValueError(
+        f"unknown circuit {spec!r} — give a .bench path, one of "
+        f"{list_builtin()}, or an ISCAS89 name like s298"
+    )
+
+
 def list_builtin() -> List[str]:
     """Names of all circuits constructible by :func:`build_builtin`."""
     return ["s27", "c17", "shift4", "counter3", "parity", "uninit", "minifsm"]

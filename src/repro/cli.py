@@ -8,6 +8,7 @@ Subcommands:
 * ``fsim`` — fault-simulate a test-vector file against a circuit;
 * ``synth`` — emit a synthetic profile-matched circuit as ``.bench``;
 * ``info`` — print circuit statistics and fault-list size;
+* ``serve`` — run the persistent ATPG job service (docs/SERVICE.md);
 * ``experiments`` — forwards to :mod:`repro.harness.experiments`.
 
 Test-vector files are plain text: one vector per line, characters
@@ -36,17 +37,10 @@ from .faults import FaultSimulator
 
 def _load_circuit(spec: str, scale: float, seed: int):
     """Resolve a circuit spec: path, builtin name, or profile name."""
-    path = Path(spec)
-    if path.suffix == ".bench" and path.exists():
-        return load_bench(path)
-    if spec in library.list_builtin():
-        return library.build_builtin(spec)
-    if spec.split("@")[0] in ISCAS89_PROFILES:
-        return synthesize_named(spec.split("@")[0], seed=seed, scale=scale)
-    raise SystemExit(
-        f"error: unknown circuit {spec!r} — give a .bench path, one of "
-        f"{library.list_builtin()}, or an ISCAS89 name like s298"
-    )
+    try:
+        return library.resolve_spec(spec, scale=scale, seed=seed)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 def _write_tests(path: Path, vectors: List[List[int]]) -> None:
@@ -136,7 +130,7 @@ def _cmd_run_body(args: argparse.Namespace, collector) -> int:
         except CheckpointError as exc:
             raise SystemExit(f"error: {exc}")
         finally:
-            generator.fsim.close()
+            generator.close()
         print(result.summary())
         vectors = result.test_sequence
         if args.compact:
@@ -254,8 +248,22 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point (see module docstring for the subcommands)."""
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``gatest serve``: run the ATPG job service (docs/SERVICE.md)."""
+    from .service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        workers=args.workers,
+        cache_size=args.cache_size,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``gatest`` argument parser (also introspected by
+    ``tools/check_doc_links.py`` to verify documented flags exist)."""
     parser = argparse.ArgumentParser(
         prog="gatest",
         description="GA-based sequential circuit test generation (GATEST reproduction)",
@@ -348,6 +356,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     info.add_argument("--scale", type=float, default=1.0)
     info.set_defaults(func=cmd_info)
 
+    serve = sub.add_parser(
+        "serve", help="run the persistent ATPG job service (docs/SERVICE.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8337,
+                       help="port to bind; 0 picks an ephemeral port and "
+                            "prints it (default 8337)")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="job ledger + run checkpoints live here; reuse "
+                            "the directory across restarts to recover "
+                            "unfinished jobs (default: throwaway tempdir)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="job worker threads (default: "
+                            "$REPRO_SERVICE_WORKERS or 2)")
+    serve.add_argument("--cache-size", type=int, default=None, metavar="N",
+                       help="max resident warm simulators (default: "
+                            "$REPRO_SERVICE_CACHE_SIZE or 8)")
+    serve.set_defaults(func=cmd_serve)
+
     sub.add_parser(
         "experiments",
         help="regenerate the paper's tables (forwards to "
@@ -355,7 +383,11 @@ def main(argv: Optional[List[str]] = None) -> int:
              "via --journal/--resume and seed parallelism via --jobs)",
         add_help=False,
     )
+    return parser
 
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (see module docstring for the subcommands)."""
     # argparse's REMAINDER handling of leading options is unreliable, so
     # the experiments passthrough is dispatched before parsing.
     raw = list(sys.argv[1:]) if argv is None else list(argv)
@@ -364,7 +396,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         return experiments_main(raw[1:])
 
-    args = parser.parse_args(raw)
+    args = build_parser().parse_args(raw)
     return args.func(args)
 
 

@@ -28,7 +28,7 @@ from .fitness import (
     phase3_fitness,
     phase4_fitness,
 )
-from .generator import GaTestGenerator, generate_tests
+from .generator import GaTestGenerator, generate_tests, make_fault_simulator
 from .hybrid import HybridAtpg, HybridResult, run_hybrid
 from .phases import PhaseTracker
 from .results import StageEvent, TestGenResult
@@ -62,6 +62,7 @@ __all__ = [
     "fitness_for_phase",
     "ga_params_for_vector_length",
     "generate_tests",
+    "make_fault_simulator",
     "phase1_fitness",
     "phase2_fitness",
     "phase3_fitness",

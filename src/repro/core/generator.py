@@ -81,6 +81,38 @@ class _RunCheckpointer:
             self.collector.inc("checkpoint.seconds", time.perf_counter() - t0)
 
 
+def make_fault_simulator(
+    compiled: CompiledCircuit,
+    config: TestGenConfig,
+    faults: Optional[List[Fault]] = None,
+    collector: Optional[NullCollector] = None,
+) -> FaultSimulator:
+    """Build the fault simulator one GATEST run needs under ``config``.
+
+    The single place the config's simulator-shaping knobs (fault model,
+    word width, kernel, eval parallelism/cache/resilience) are turned
+    into a constructor call — the generator builds through here, and so
+    does the job service's warm registry, so a leased resident simulator
+    is guaranteed to match what the generator would have built itself.
+    """
+    if collector is None:
+        collector = get_collector()
+    if config.fault_model == "transition":
+        from ..faults.transition import TransitionFaultSimulator
+
+        sim_class = TransitionFaultSimulator
+    else:
+        sim_class = FaultSimulator
+    return sim_class(
+        compiled, faults=faults, word_width=config.word_width,
+        collector=collector, eval_jobs=config.eval_jobs,
+        eval_cache=config.eval_cache,
+        kernel=config.sim_kernel,
+        eval_task_timeout=config.eval_task_timeout,
+        eval_retries=config.eval_retries,
+    )
+
+
 class GaTestGenerator:
     """One GATEST run over one circuit.
 
@@ -89,6 +121,14 @@ class GaTestGenerator:
     >>> result = GaTestGenerator(s27(), TestGenConfig(seed=1)).run()
     >>> result.fault_coverage > 0.5
     True
+
+    ``fsim`` lends the generator an existing simulator instead of
+    building one: it must wrap the same compiled circuit, be configured
+    like :func:`make_fault_simulator` would (same fault model, kernel,
+    word width), and be at power-up state (freshly built or ``reset``).
+    A lent simulator is *not* closed by :meth:`run`/:meth:`close` — its
+    lifetime (and its worker pool's) stays with the owner, which is how
+    the job service keeps simulators and pools warm across jobs.
     """
 
     def __init__(
@@ -97,6 +137,7 @@ class GaTestGenerator:
         config: Optional[TestGenConfig] = None,
         faults: Optional[List[Fault]] = None,
         collector: Optional[NullCollector] = None,
+        fsim: Optional[FaultSimulator] = None,
     ) -> None:
         compiled = (
             circuit if isinstance(circuit, CompiledCircuit) else compile_circuit(circuit)
@@ -106,26 +147,19 @@ class GaTestGenerator:
         self.config = (config or TestGenConfig()).for_circuit(self.circuit.name)
         self.rng = random.Random(self.config.seed)
         self.collector = collector if collector is not None else get_collector()
-        if self.config.fault_model == "transition":
-            from ..faults.transition import TransitionFaultSimulator
-
-            self.fsim = TransitionFaultSimulator(
-                compiled, faults=faults, word_width=self.config.word_width,
-                collector=self.collector, eval_jobs=self.config.eval_jobs,
-                eval_cache=self.config.eval_cache,
-                kernel=self.config.sim_kernel,
-                eval_task_timeout=self.config.eval_task_timeout,
-                eval_retries=self.config.eval_retries,
-            )
+        if fsim is not None:
+            if fsim.compiled is not compiled:
+                raise ValueError(
+                    "lent fsim wraps a different CompiledCircuit than the "
+                    "generator's; lend a simulator built on the same object"
+                )
+            self.fsim = fsim
+            self._owns_fsim = False
         else:
-            self.fsim = FaultSimulator(
-                compiled, faults=faults, word_width=self.config.word_width,
-                collector=self.collector, eval_jobs=self.config.eval_jobs,
-                eval_cache=self.config.eval_cache,
-                kernel=self.config.sim_kernel,
-                eval_task_timeout=self.config.eval_task_timeout,
-                eval_retries=self.config.eval_retries,
+            self.fsim = make_fault_simulator(
+                compiled, self.config, faults=faults, collector=self.collector
             )
+            self._owns_fsim = True
         self.sampler = make_sampler(self.config.fault_sample)
         self.ctx = FitnessContext(
             num_ffs=compiled.num_ffs, num_nodes=compiled.num_nodes
@@ -448,6 +482,18 @@ class GaTestGenerator:
 
     DEFAULT_CHECKPOINT_EVERY = 8
 
+    def close(self) -> None:
+        """Release the fault simulator's resources, if this run owns them.
+
+        Idempotent.  A simulator lent via the ``fsim`` constructor
+        parameter is left open — closing it is its owner's job — so
+        callers can unconditionally ``close()`` in a ``finally`` block
+        (the CLI and the job service both do) without tearing down a
+        warm simulator out from under its registry.
+        """
+        if self._owns_fsim:
+            self.fsim.close()
+
     def run(
         self,
         *,
@@ -507,7 +553,7 @@ class GaTestGenerator:
                         self._checkpoint_payload("done", tracker)
                     )
         finally:
-            self.fsim.close()  # release eval-jobs worker processes, if any
+            self.close()  # release eval-jobs worker processes, if owned
         elapsed = root.elapsed
         return TestGenResult(
             circuit_name=self.circuit.name,

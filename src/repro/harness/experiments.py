@@ -434,10 +434,12 @@ TABLES = {
 }
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI: regenerate tables/figures by number (see module docstring)."""
+def build_parser() -> argparse.ArgumentParser:
+    """The ``gatest experiments`` argument parser (also introspected by
+    ``tools/check_doc_links.py`` to verify documented flags exist)."""
     parser = argparse.ArgumentParser(
-        description="Regenerate the paper's tables and figure traces."
+        prog="gatest experiments",
+        description="Regenerate the paper's tables and figure traces.",
     )
     parser.add_argument("--table", required=True, choices=list(TABLES) + ["all"])
     parser.add_argument("--scale", type=float, default=0.3,
@@ -469,6 +471,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write the campaign's telemetry trace as JSONL")
     parser.add_argument("--metrics", action="store_true",
                         help="print the metrics summary after the tables")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: regenerate tables/figures by number (see module docstring)."""
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.resume and not args.journal:

@@ -38,6 +38,7 @@ from ..parallel.resilience import (
     ChaosConfig,
     RetryPolicy,
 )
+from ..parallel.shutdown import reap_pool
 from ..sim.codegen import resolve_kernel_name
 from ..sim.compile import CompiledCircuit, compile_circuit
 from ..telemetry.collector import NullCollector, TelemetryCollector, get_collector
@@ -204,26 +205,11 @@ def _seed_worker(
 def _kill_seed_pool(pool) -> None:
     """Hard-stop one seed's pool: cancel, terminate, reap.
 
-    Mirrors the evaluator's teardown — a hung worker never responds to
-    a graceful shutdown, and an abandoned one would orphan.
+    Shares the evaluator's teardown (:func:`reap_pool`) — a hung worker
+    never responds to a graceful shutdown, and an abandoned one would
+    orphan.
     """
-    if pool is None:
-        return
-    processes = list((getattr(pool, "_processes", None) or {}).values())
-    try:
-        pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:
-        pass
-    for proc in processes:
-        try:
-            proc.terminate()
-        except Exception:
-            pass
-    for proc in processes:
-        try:
-            proc.join(timeout=5.0)
-        except Exception:
-            pass
+    reap_pool(pool)
 
 
 def _run_seed_pool(

@@ -28,12 +28,15 @@ from .cache import EvalCache, eval_key
 from .evaluator import ParallelEvaluator
 from .resilience import ChaosConfig, RetryPolicy
 from .sharding import plan_shards
+from .shutdown import close_quietly, reap_pool
 
 __all__ = [
     "ChaosConfig",
     "EvalCache",
     "ParallelEvaluator",
     "RetryPolicy",
+    "close_quietly",
     "eval_key",
     "plan_shards",
+    "reap_pool",
 ]

@@ -57,6 +57,7 @@ from ..telemetry.collector import NullCollector, get_collector
 from .cache import DEFAULT_MAX_ENTRIES, EvalCache, eval_key
 from .resilience import RetryPolicy
 from .sharding import plan_shards
+from .shutdown import reap_pool
 from .worker import init_worker, run_batch_shard, shard_payload
 
 
@@ -150,26 +151,11 @@ class ParallelEvaluator:
 
         Used when the pool is known or suspected broken (a worker died
         or hung); a clean ``shutdown`` would block forever on a wedged
-        worker, so the worker processes are terminated outright.
+        worker, so :func:`~repro.parallel.shutdown.reap_pool` terminates
+        the worker processes outright.
         """
         pool, self._pool = self._pool, None
-        if pool is None:
-            return
-        processes = list(getattr(pool, "_processes", {}).values())
-        try:
-            pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:  # pragma: no cover - defensive
-            pass
-        for proc in processes:
-            try:
-                proc.terminate()
-            except Exception:  # pragma: no cover - already dead
-                pass
-        for proc in processes:
-            try:
-                proc.join(timeout=5.0)
-            except Exception:  # pragma: no cover - defensive
-                pass
+        reap_pool(pool)
 
     def _restart_pool(self) -> None:
         """Kill the (suspect) pool; the next ``_get_pool`` respawns it."""

@@ -1,0 +1,72 @@
+"""Shared process-pool teardown used by every pool owner in the stack.
+
+Three layers own worker pools — the sharded candidate evaluator
+(:mod:`repro.parallel.evaluator`), the harness's fault-isolated seed
+pools (:mod:`repro.harness.runner`) and the resident simulators of the
+job service (:mod:`repro.service`) — and all of them need the same
+teardown on the unhappy path: a worker that died or hung never answers
+a graceful ``shutdown()``, so the pool must be cancelled, its processes
+terminated outright, and the corpses reaped.  That sequence used to be
+duplicated per owner (``_kill_pool`` in the evaluator, a near-identical
+``_kill_seed_pool`` in the runner, and the CLI's ``finally`` mirroring
+the generator's); it lives here once now.
+
+:func:`reap_pool` is the hard teardown.  :func:`close_quietly` is the
+idempotent happy-path counterpart for anything exposing ``close()``
+(a :class:`~repro.faults.simulator.FaultSimulator`, a generator, an
+evaluator) where teardown must never raise over an in-flight exception.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Seconds to wait for each terminated worker before abandoning it.
+JOIN_TIMEOUT = 5.0
+
+
+def reap_pool(pool, join_timeout: float = JOIN_TIMEOUT) -> None:
+    """Hard-stop a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Cancels queued work, terminates every worker process, then joins
+    them with a bounded timeout.  Safe on ``None``, on an already
+    shut-down pool, and on a pool whose workers are wedged — a clean
+    ``shutdown(wait=True)`` would block forever on a hung worker, which
+    is exactly when this gets called.  Never raises.
+    """
+    if pool is None:
+        return
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive
+        pass
+    for proc in processes:
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - already dead
+            pass
+    for proc in processes:
+        try:
+            proc.join(timeout=join_timeout)
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+
+def close_quietly(closable: Optional[object]) -> None:
+    """Call ``closable.close()``, swallowing every exception.
+
+    The shutdown path runs inside ``finally`` blocks where a teardown
+    error must not mask the real one; ``close()`` implementations in
+    this stack are idempotent, so calling through here repeatedly is
+    always safe.
+    """
+    if closable is None:
+        return
+    close = getattr(closable, "close", None)
+    if close is None:
+        return
+    try:
+        close()
+    except Exception:  # pragma: no cover - defensive
+        pass

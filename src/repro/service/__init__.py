@@ -1,0 +1,57 @@
+"""ATPG-as-a-service: a persistent job API over the GATEST stack.
+
+``gatest run`` pays the full cold-start bill — parse/synthesize,
+levelize, compile, build a simulation kernel, spin up worker pools —
+on every invocation, then throws it all away.  This package keeps that
+state **warm** in a long-lived process behind a small HTTP API
+(stdlib-only; see docs/SERVICE.md for the full reference):
+
+* :mod:`~repro.service.state` — keyed LRU registry of compiled
+  circuits and leased resident fault simulators;
+* :mod:`~repro.service.jobs` — job validation/queue/worker pool,
+  request coalescing, shared wide-word fsim batching, the sealed job
+  ledger, and checkpoint-backed crash recovery;
+* :mod:`~repro.service.http` — the asyncio HTTP front
+  (``POST /jobs``, ``GET /jobs/<id>``, ``GET /jobs/<id>/events``,
+  ``GET /healthz``, ``POST /shutdown``);
+* :mod:`~repro.service.client` — :class:`ServiceClient`, a thin
+  ``http.client`` wrapper;
+* :mod:`~repro.service.app` — :func:`serve`, the ``gatest serve``
+  entry point.
+
+Every result is bit-identical to the equivalent one-shot CLI run: jobs
+are deterministic functions of (circuit spec, config), warm simulators
+are reset to power-up before reuse, and recovery resumes through the
+PR 4 run-checkpoint contract.
+"""
+
+from .app import serve
+from .client import ServiceClient, ServiceError
+from .http import ServiceServer
+from .jobs import (
+    Job,
+    JobLedger,
+    JobManager,
+    JobSpec,
+    JobValidationError,
+    StreamingCollector,
+    parse_job,
+)
+from .state import WarmRegistry, circuit_key, sim_key
+
+__all__ = [
+    "Job",
+    "JobLedger",
+    "JobManager",
+    "JobSpec",
+    "JobValidationError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "StreamingCollector",
+    "WarmRegistry",
+    "circuit_key",
+    "parse_job",
+    "serve",
+    "sim_key",
+]

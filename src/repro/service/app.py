@@ -1,0 +1,84 @@
+"""Service assembly and lifecycle: what ``gatest serve`` runs.
+
+:func:`serve` wires the pieces together — service-level
+:class:`~repro.telemetry.TelemetryCollector`, ledger/checkpoint state
+directory, :class:`~repro.service.jobs.JobManager`,
+:class:`~repro.service.http.ServiceServer` — and blocks until a
+graceful shutdown is requested by ``POST /shutdown`` or by SIGTERM /
+SIGINT.  On shutdown, in-flight jobs drain, resident simulators close
+(no orphaned worker processes), and queued jobs stay in the ledger for
+the next start to recover.
+
+The "listening on" line is printed only after the socket is bound, with
+the *actual* port — ``--port 0`` asks the OS for an ephemeral port, and
+tests/scripts parse the line to find it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ..telemetry import TelemetryCollector
+from .http import ServiceServer
+from .jobs import JobManager, workers_from_env
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8337,
+    state_dir: Optional[str] = None,
+    workers: Optional[int] = None,
+    cache_size: Optional[int] = None,
+) -> int:
+    """Run the service until shutdown; returns a process exit status.
+
+    With ``state_dir=None`` a throwaway directory is used: no recovery
+    across restarts, but also no litter.  Pass a real directory to get
+    the ledger/checkpoint/recovery behaviour described in
+    docs/SERVICE.md.
+    """
+    collector = TelemetryCollector(source="repro.service")
+    if state_dir is None:
+        scratch = tempfile.TemporaryDirectory(prefix="gatest-service-")
+        state_path = Path(scratch.name)
+    else:
+        scratch = None
+        state_path = Path(state_dir)
+        state_path.mkdir(parents=True, exist_ok=True)
+    manager = JobManager(
+        state_path,
+        collector=collector,
+        workers=workers if workers is not None else workers_from_env(),
+        cache_size=cache_size,
+    )
+    try:
+        asyncio.run(_serve_async(manager, host, port))
+    except KeyboardInterrupt:
+        manager.close()
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+    return 0
+
+
+async def _serve_async(manager: JobManager, host: str, port: int) -> None:
+    server = ServiceServer(manager, host=host, port=port)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, server.shutdown_requested.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-main thread or platform without signal support
+    print(
+        f"gatest-service listening on http://{server.host}:{server.port} "
+        f"(state: {manager.state_dir})",
+        flush=True,
+    )
+    await server.serve_until_shutdown()
+    print("gatest-service: shut down cleanly", file=sys.stderr, flush=True)

@@ -1,0 +1,136 @@
+"""A thin stdlib client for the job service (``http.client`` only).
+
+Mirrors the API in docs/SERVICE.md one method per endpoint, plus two
+conveniences (:meth:`ServiceClient.wait` polls a job to a terminal
+state; :meth:`ServiceClient.events` iterates the live telemetry
+stream).  Raises :class:`ServiceError` carrying the HTTP status and the
+server's ``error`` message on any non-200 response.
+
+>>> client = ServiceClient("127.0.0.1", 8337)          # doctest: +SKIP
+>>> job = client.submit({"kind": "run", "circuit": "s27",
+...                      "config": {"seed": 1}})       # doctest: +SKIP
+>>> done = client.wait(job["id"])                      # doctest: +SKIP
+>>> done["result"]["fault_coverage"] > 0.5             # doctest: +SKIP
+True
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Iterator, List, Optional
+
+
+class ServiceError(RuntimeError):
+    """A non-200 response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """One service endpoint; a fresh connection per request."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8337,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read() or b"{}")
+            if response.status != 200:
+                raise ServiceError(
+                    response.status, data.get("error", "unknown error")
+                )
+            return data
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------
+
+    def healthz(self) -> dict:
+        """``GET /healthz``: status, job counts, cache stats, counters."""
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec: dict) -> dict:
+        """``POST /jobs``: submit a run/fsim job; returns the job record."""
+        return self._request("POST", "/jobs", body=spec)
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/<id>``: one job's status and (if done) result."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[dict]:
+        """``GET /jobs``: every job the service knows, oldest first."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def shutdown(self) -> dict:
+        """``POST /shutdown``: graceful stop (in-flight jobs drain)."""
+        return self._request("POST", "/shutdown")
+
+    # -- conveniences --------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.05) -> dict:
+        """Poll until the job is ``done``/``failed``; returns the record.
+
+        Raises :class:`TimeoutError` if the deadline passes first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["status"] in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['status']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """``GET /jobs/<id>/events``: yield telemetry records live.
+
+        The iterator ends when the job's trace is complete (the server
+        closes the stream).  Collecting it yields a full schema-valid
+        trace: ``meta`` first, events in order, counter finals last.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                data = json.loads(response.read() or b"{}")
+                raise ServiceError(
+                    response.status, data.get("error", "unknown error")
+                )
+            buffer = b""
+            while True:
+                chunk = response.read1(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line)
+            if buffer.strip():
+                yield json.loads(buffer)
+        finally:
+            conn.close()

@@ -1,0 +1,254 @@
+"""A minimal asyncio HTTP/1.1 front for the job manager.
+
+Standard library only (``asyncio.start_server`` plus hand-rolled
+request parsing) — the service adds **no dependencies** to the package.
+The protocol subset is deliberately small and documented in
+docs/SERVICE.md:
+
+* one request per connection, ``Connection: close`` on every response;
+* JSON request and response bodies (``Content-Length`` framed);
+* the event stream (``GET /jobs/<id>/events``) is close-delimited
+  ``application/x-ndjson``: one telemetry record per line, written as
+  the job produces them, connection closed when the trace is complete.
+
+Blocking manager calls (job submission compiles circuits; event reads
+wait on a condition) run in worker threads via ``asyncio.to_thread`` so
+one slow request never stalls the accept loop.
+
+Routes::
+
+    GET  /healthz            liveness + job/cache stats + counters
+    POST /jobs               submit a job (docs/SERVICE.md schema)
+    GET  /jobs               all jobs, oldest first
+    GET  /jobs/<id>          one job's status/result
+    GET  /jobs/<id>/events   live telemetry stream (ndjson)
+    POST /shutdown           graceful stop (drains in-flight jobs)
+
+Error codes: 400 (bad JSON / bad spec / unknown circuit), 404 (unknown
+job or path), 405 (bad method), 413 (oversized body), 500 (handler
+bug).  Every error body is ``{"error": "<message>"}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from .jobs import JobManager, JobValidationError
+
+#: Largest accepted request body (a big fsim vector file is ~MBs).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Reason phrases for the status codes this server emits.
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """Terminate a request with ``status`` and a JSON error body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _response_bytes(status: int, body: dict) -> bytes:
+    payload = json.dumps(body).encode()
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    ).encode()
+    return head + payload
+
+
+class ServiceServer:
+    """Bind, serve, and tear down the HTTP front over one JobManager."""
+
+    def __init__(self, manager: JobManager, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port          # 0 = ephemeral; real port set by start()
+        self.shutdown_requested = asyncio.Event()
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        """Bind the listening socket and record the actual port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until :attr:`shutdown_requested` is set, then drain."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self.shutdown_requested.wait()
+        # In-flight jobs finish; queued jobs stay ledgered for the next
+        # start (the recovery path picks them up).
+        await asyncio.to_thread(self.manager.close)
+
+    # -- request plumbing ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+                await self._route(method, path, body, writer)
+            except HttpError as exc:
+                writer.write(
+                    _response_bytes(exc.status, {"error": exc.message})
+                )
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except Exception as exc:  # pragma: no cover - handler bug guard
+                writer.write(
+                    _response_bytes(500, {"error": f"{type(exc).__name__}: {exc}"})
+                )
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Optional[dict]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise HttpError(400, "empty request")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise HttpError(400, f"malformed request line: {request_line!r}")
+        method, target, _version = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise HttpError(400, "bad Content-Length")
+        if content_length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body: Optional[dict] = None
+        if content_length:
+            raw = await reader.readexactly(content_length)
+            try:
+                body = json.loads(raw)
+            except ValueError as exc:
+                raise HttpError(400, f"request body is not valid JSON: {exc}")
+        return method, target.split("?", 1)[0], body
+
+    # -- routing -------------------------------------------------------
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if path == "/healthz":
+            self._require_method(method, "GET")
+            writer.write(_response_bytes(200, self._healthz()))
+            return
+        if path == "/shutdown":
+            self._require_method(method, "POST")
+            writer.write(_response_bytes(200, {"status": "shutting-down"}))
+            await writer.drain()
+            self.shutdown_requested.set()
+            return
+        if path == "/jobs":
+            if method == "POST":
+                job, coalesced = await asyncio.to_thread(self._submit, body)
+                response = job.to_json()
+                response["coalesced_onto"] = coalesced
+                writer.write(_response_bytes(200, response))
+                return
+            self._require_method(method, "GET")
+            writer.write(
+                _response_bytes(
+                    200, {"jobs": [j.to_json() for j in self.manager.jobs()]}
+                )
+            )
+            return
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/events"):
+                self._require_method(method, "GET")
+                await self._stream_events(rest[: -len("/events")].rstrip("/"), writer)
+                return
+            self._require_method(method, "GET")
+            job = self.manager.get(rest)
+            if job is None:
+                raise HttpError(404, f"no such job: {rest!r}")
+            writer.write(_response_bytes(200, job.to_json()))
+            return
+        raise HttpError(404, f"no such endpoint: {path!r}")
+
+    @staticmethod
+    def _require_method(method: str, expected: str) -> None:
+        if method != expected:
+            raise HttpError(405, f"use {expected}")
+
+    def _submit(self, body: Optional[dict]):
+        if body is None:
+            raise HttpError(400, "POST /jobs requires a JSON body")
+        try:
+            return self.manager.submit(body)
+        except JobValidationError as exc:
+            raise HttpError(400, str(exc))
+
+    def _healthz(self) -> dict:
+        counters = {}
+        if self.manager.collector.enabled:
+            counters = self.manager.collector.counters
+        return {
+            "status": "ok",
+            "jobs": self.manager.stats(),
+            "cache": self.manager.registry.stats(),
+            "counters": counters,
+        }
+
+    async def _stream_events(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        job = self.manager.get(job_id)
+        if job is None:
+            raise HttpError(404, f"no such job: {job_id!r}")
+        writer.write(
+            (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode()
+        )
+        position = 0
+        while True:
+            records, done = await asyncio.to_thread(
+                job.collector.stream_read, position, 0.5
+            )
+            for record in records:
+                writer.write((json.dumps(record) + "\n").encode())
+            position += len(records)
+            if records:
+                await writer.drain()
+            if done:
+                return

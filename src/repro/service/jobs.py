@@ -1,0 +1,683 @@
+"""Job model, validation, ledger, and the worker pool behind the service.
+
+One :class:`JobManager` owns everything between "HTTP request accepted"
+and "result JSON ready":
+
+* **Validation** — :func:`parse_job` turns a ``POST /jobs`` payload into
+  a :class:`JobSpec`, constructing a real
+  :class:`~repro.core.config.TestGenConfig` from the request's
+  ``config`` object so every field check (types, ranges, unknown keys)
+  is the library's own, not a parallel schema that could drift.
+* **Coalescing** — identical in-flight requests (same canonical payload
+  digest) collapse onto one job: deterministic seeds mean the result is
+  the same, so running it twice is pure waste
+  (``service.jobs.coalesced``).
+* **Batching** — queued ``fsim`` jobs that share a simulator key and
+  frame count are scored in one shared wide-word
+  :meth:`~repro.faults.simulator.FaultSimulator.evaluate_batch` pass.
+  From power-up state, ``evaluate``'s ``detected`` equals ``commit``'s
+  total detections for the same vectors, so batched results are
+  bit-identical to one-at-a-time runs (``service.batch.{passes,jobs}``).
+* **Warm execution** — run jobs lease a resident simulator from the
+  :class:`~repro.service.state.WarmRegistry` and lend it to
+  :class:`~repro.core.generator.GaTestGenerator` via its ``fsim``
+  parameter, so repeat requests skip parse/levelize/kernel-compile and
+  reuse warm worker pools.
+* **Ledger + recovery** — every accepted/completed/failed transition is
+  appended to a sealed JSONL ledger (the per-line content hashes of
+  :func:`repro.core.checkpoint.seal_journal_record`).  On restart,
+  accepted-but-unfinished jobs are re-enqueued; those with a run
+  checkpoint on disk resume from it bit-identically (PR 4 contract),
+  the rest re-run from scratch — deterministic seeds make that
+  equivalent (``service.jobs.resumed``).
+* **Telemetry** — each job records into its own
+  :class:`StreamingCollector` (live ``GET /jobs/<id>/events`` stream,
+  schema-valid JSONL trace); at completion the job trace is folded into
+  the service collector under the ``job.<id>`` scope via
+  ``merge_worker_trace``, so one service trace stays attributable.
+
+See docs/SERVICE.md for the wire formats and operational contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..core.checkpoint import (
+    CheckpointError,
+    check_journal_record,
+    seal_journal_record,
+)
+from ..core.config import TestGenConfig
+from ..core.generator import GaTestGenerator
+from ..harness.campaign import result_to_json
+from ..telemetry import NullCollector, TelemetryCollector, get_collector, make_record
+from .state import WarmRegistry, circuit_key, sim_key
+
+#: Default stage events between run-job checkpoint writes.
+DEFAULT_CHECKPOINT_EVERY = 8
+
+#: Environment knob: number of job worker threads.
+WORKERS_ENV = "REPRO_SERVICE_WORKERS"
+
+#: Job lifecycle states (``queued -> running -> done | failed``).
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+class JobValidationError(ValueError):
+    """A job request payload is malformed (HTTP layer maps this to 400)."""
+
+
+class StreamingCollector(TelemetryCollector):
+    """A recording collector whose records can also be *streamed* live.
+
+    The base collector only exposes the finished trace (:meth:`records`);
+    the event-stream endpoint needs records as they happen.  Every
+    emitted record is mirrored into a condition-guarded buffer that
+    starts with the ``meta`` record and — once :meth:`finish_stream`
+    runs — ends with the final ``counter`` records, so the streamed
+    sequence is exactly a valid trace per docs/TELEMETRY.md
+    (``validate_trace`` passes on what a client collects).
+    """
+
+    def __init__(self, source: str) -> None:
+        super().__init__(source=source)
+        self._stream_cond = threading.Condition()
+        self._stream: List[dict] = [dict(self._meta)]
+        self._stream_done = False
+
+    def _emit(self, record: dict) -> None:
+        super()._emit(record)
+        with self._stream_cond:
+            self._stream.append(record)
+            self._stream_cond.notify_all()
+
+    def finish_stream(self) -> None:
+        """Append final counter records and mark the stream complete."""
+        with self._stream_cond:
+            if self._stream_done:
+                return
+            for name in sorted(self._counters):
+                self._stream.append(
+                    make_record("counter", name=name, value=self._counters[name])
+                )
+            self._stream_done = True
+            self._stream_cond.notify_all()
+
+    def stream_read(self, start: int, timeout: float = 0.5) -> Tuple[List[dict], bool]:
+        """Records from index ``start`` on, waiting up to ``timeout``.
+
+        Returns ``(new_records, finished)``; ``finished`` is only True
+        once the stream is complete *and* the caller has everything.
+        """
+        with self._stream_cond:
+            if len(self._stream) <= start and not self._stream_done:
+                self._stream_cond.wait(timeout)
+            fresh = self._stream[start:]
+            done = self._stream_done and start + len(fresh) == len(self._stream)
+            return fresh, done
+
+
+# ----------------------------------------------------------------------
+# Job specs
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class JobSpec:
+    """A validated job request (what :func:`parse_job` produces)."""
+
+    kind: str                            # "run" | "fsim"
+    circuit: str                         # spec string (resolve_spec grammar)
+    scale: float
+    seed: int                            # circuit synthesis seed
+    config: TestGenConfig                # simulator-shaping config
+    vectors: Optional[List[List[int]]]   # fsim only
+    checkpoint_every: int                # run only
+    payload: dict                        # canonical raw request (for the ledger)
+    digest: str                          # canonical payload digest (coalescing)
+
+
+def _canonical_digest(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise JobValidationError(message)
+
+
+def parse_job(payload: object) -> JobSpec:
+    """Validate a ``POST /jobs`` payload into a :class:`JobSpec`.
+
+    Raises :class:`JobValidationError` with a client-actionable message
+    on any malformation; config errors carry ``TestGenConfig``'s own
+    diagnostics.
+    """
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    kind = payload.get("kind")
+    _require(kind in ("run", "fsim"), "field 'kind' must be 'run' or 'fsim'")
+    circuit = payload.get("circuit")
+    _require(
+        isinstance(circuit, str) and bool(circuit),
+        "field 'circuit' must be a non-empty string",
+    )
+    scale = payload.get("scale", 1.0)
+    _require(
+        isinstance(scale, (int, float)) and not isinstance(scale, bool) and scale > 0,
+        "field 'scale' must be a positive number",
+    )
+    if kind == "run":
+        allowed = {"kind", "circuit", "scale", "config", "checkpoint_every"}
+        config_raw = payload.get("config", {})
+        _require(isinstance(config_raw, dict), "field 'config' must be an object")
+        try:
+            config = TestGenConfig(**config_raw)
+        except (TypeError, ValueError) as exc:
+            raise JobValidationError(f"invalid config: {exc}") from exc
+        checkpoint_every = payload.get("checkpoint_every", DEFAULT_CHECKPOINT_EVERY)
+        _require(
+            isinstance(checkpoint_every, int) and not isinstance(checkpoint_every, bool)
+            and checkpoint_every >= 1,
+            "field 'checkpoint_every' must be a positive integer",
+        )
+        seed = config.seed
+        vectors = None
+    else:
+        allowed = {"kind", "circuit", "scale", "seed", "kernel", "vectors"}
+        seed = payload.get("seed", 0)
+        _require(
+            isinstance(seed, int) and not isinstance(seed, bool),
+            "field 'seed' must be an integer",
+        )
+        try:
+            config = TestGenConfig(seed=seed, sim_kernel=payload.get("kernel"))
+        except (TypeError, ValueError) as exc:
+            raise JobValidationError(f"invalid kernel: {exc}") from exc
+        vectors = payload.get("vectors")
+        _require(
+            isinstance(vectors, list) and bool(vectors),
+            "field 'vectors' must be a non-empty list of bit vectors",
+        )
+        width = None
+        for i, vec in enumerate(vectors):
+            _require(
+                isinstance(vec, list) and bool(vec)
+                and all(bit in (0, 1) and not isinstance(bit, bool) for bit in vec),
+                f"vectors[{i}] must be a non-empty list of 0/1 bits",
+            )
+            if width is None:
+                width = len(vec)
+            _require(
+                len(vec) == width,
+                f"vectors[{i}] has {len(vec)} bits, expected {width}",
+            )
+        checkpoint_every = DEFAULT_CHECKPOINT_EVERY
+    unknown = sorted(set(payload) - allowed)
+    _require(not unknown, f"unknown field(s): {', '.join(unknown)}")
+    canonical = {key: payload[key] for key in sorted(payload)}
+    return JobSpec(
+        kind=kind,
+        circuit=circuit,
+        scale=float(scale),
+        seed=seed,
+        config=config,
+        vectors=vectors,
+        checkpoint_every=checkpoint_every,
+        payload=canonical,
+        digest=_canonical_digest(canonical),
+    )
+
+
+# ----------------------------------------------------------------------
+# Jobs and the ledger
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Job:
+    """One accepted job and everything the API serves about it."""
+
+    id: str
+    seq: int
+    spec: JobSpec
+    status: str = "queued"
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    resumed: bool = False
+    coalesced: int = 0
+    collector: StreamingCollector = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.collector = StreamingCollector(source=f"repro.service.job.{self.id}")
+
+    def to_json(self) -> dict:
+        return {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "circuit": self.spec.circuit,
+            "status": self.status,
+            "result": self.result,
+            "error": self.error,
+            "resumed": self.resumed,
+            "coalesced": self.coalesced,
+        }
+
+
+class JobLedger:
+    """Append-only sealed-JSONL record of every job state transition.
+
+    Each line is an independent sealed record
+    (:func:`~repro.core.checkpoint.seal_journal_record`), appended with
+    flush+fsync so an accepted job survives a service SIGKILL.  A torn
+    tail line (killed mid-append) is detected by its seal and skipped
+    on load — corruption is localized to the one unfinished write, per
+    the PR 4 journal contract.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    def append(self, record: dict) -> None:
+        line = json.dumps(seal_journal_record(record), sort_keys=True)
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def load(self) -> List[dict]:
+        """All intact records, oldest first; torn/corrupt lines skipped."""
+        if not self.path.exists():
+            return []
+        records: List[dict] = []
+        with self._lock:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        for lineno, line in enumerate(lines, 1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                check_journal_record(record, lineno, self.path)
+            except Exception:
+                continue  # torn or corrupt line: skip, keep the rest
+            records.append(record)
+        return records
+
+
+# ----------------------------------------------------------------------
+# The manager
+# ----------------------------------------------------------------------
+
+
+def workers_from_env(default: int = 2) -> int:
+    """Resolve the worker-thread count from :data:`WORKERS_ENV`."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
+class JobManager:
+    """Accepts, schedules, executes, and recovers jobs.
+
+    ``state_dir`` holds the ledger (``ledger.jsonl``) and per-job run
+    checkpoints (``checkpoints/<id>.ckpt``); pass the same directory to
+    a restarted service and unfinished jobs are recovered.  ``workers``
+    threads drain the queue; with one worker, execution order (and
+    therefore the service telemetry trace) is deterministic.
+    """
+
+    def __init__(
+        self,
+        state_dir: Path,
+        collector: Optional[NullCollector] = None,
+        workers: int = 2,
+        cache_size: Optional[int] = None,
+    ) -> None:
+        self.state_dir = Path(state_dir)
+        self.collector = collector if collector is not None else get_collector()
+        self.registry = WarmRegistry(collector=self.collector, max_sims=cache_size)
+        self.ledger = JobLedger(self.state_dir / "ledger.jsonl")
+        self._cond = threading.Condition()
+        self._jobs: Dict[str, Job] = {}
+        self._by_digest: Dict[str, str] = {}  # digest -> newest job id
+        self._seq = 0
+        self._stop = False
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"job-worker-{i}", daemon=True)
+            for i in range(max(1, workers))
+        ]
+        self._recover()
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, payload: object) -> Tuple[Job, bool]:
+        """Validate and enqueue a job; returns ``(job, coalesced)``.
+
+        Raises :class:`JobValidationError` (HTTP 400) on a bad payload
+        or an unresolvable circuit.  An identical queued/running job
+        absorbs the request instead of enqueueing a duplicate.
+        """
+        spec = parse_job(payload)
+        # Resolve (and warm) the circuit now so an unknown name is a
+        # 400 at submit, not a failed job later.
+        try:
+            self.registry.compiled(circuit_key(spec.circuit, spec.scale, spec.seed))
+        except ValueError as exc:
+            raise JobValidationError(str(exc)) from exc
+        with self._cond:
+            existing_id = self._by_digest.get(spec.digest)
+            if existing_id is not None:
+                existing = self._jobs[existing_id]
+                if existing.status in ("queued", "running"):
+                    existing.coalesced += 1
+                    if self.collector.enabled:
+                        self.collector.inc("service.jobs.coalesced")
+                    return existing, True
+            job = self._accept(spec)
+            self._cond.notify_all()
+        self.ledger.append(
+            {"event": "accepted", "id": job.id, "seq": job.seq,
+             "payload": spec.payload}
+        )
+        return job, False
+
+    def _accept(
+        self,
+        spec: JobSpec,
+        resumed: bool = False,
+        job_id: Optional[str] = None,
+        seq: Optional[int] = None,
+    ) -> Job:
+        """Register a queued job (caller holds the lock).
+
+        ``job_id``/``seq`` are only passed by ledger recovery, which
+        preserves a job's identity across a service restart so clients
+        keep polling the id they were given.
+        """
+        if seq is None:
+            self._seq += 1
+            seq = self._seq
+        else:
+            self._seq = max(self._seq, seq)
+        if job_id is None:
+            job_id = f"j{seq:04d}-{spec.digest[:8]}"
+        job = Job(id=job_id, seq=seq, spec=spec)
+        job.resumed = resumed
+        self._jobs[job.id] = job
+        self._by_digest[spec.digest] = job.id
+        if self.collector.enabled:
+            self.collector.inc("service.jobs.accepted")
+        return job
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._cond:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def stats(self) -> dict:
+        counts = {state: 0 for state in JOB_STATES}
+        with self._cond:
+            for job in self._jobs.values():
+                counts[job.status] += 1
+        return counts
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no job is queued or running (for tests/shutdown)."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: not any(
+                    j.status in ("queued", "running") for j in self._jobs.values()
+                ),
+                timeout,
+            )
+
+    # -- recovery ------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild the job table from the ledger; re-enqueue unfinished jobs.
+
+        Finished jobs are restored verbatim (same id, stored result) so
+        ``GET /jobs/<id>`` keeps answering across restarts; jobs that
+        were accepted but never reached a terminal state are re-queued
+        under their original id — with ``resume`` armed if their run
+        checkpoint survived, in which case the finished run is
+        bit-identical to an uninterrupted one (PR 4 contract), and from
+        scratch otherwise, which the deterministic seed makes
+        equivalent.
+        """
+        finished: Dict[str, dict] = {}
+        accepted: List[dict] = []
+        for record in self.ledger.load():
+            event = record.get("event")
+            if event == "accepted":
+                accepted.append(record)
+            elif event in ("completed", "failed"):
+                finished[record["id"]] = record
+        for record in accepted:
+            job_id = record.get("id", "")
+            try:
+                spec = parse_job(record.get("payload"))
+                seq = int(record.get("seq", 0))
+            except (JobValidationError, TypeError, ValueError):
+                continue
+            final = finished.get(job_id)
+            with self._cond:
+                job = self._accept(
+                    spec, resumed=final is None, job_id=job_id, seq=seq
+                )
+                if final is not None:
+                    job.resumed = False
+                    job.status = (
+                        "done" if final["event"] == "completed" else "failed"
+                    )
+                    job.result = final.get("result")
+                    job.error = final.get("error")
+                elif self.collector.enabled:
+                    self.collector.inc("service.jobs.resumed")
+            if job.status != "queued":
+                job.collector.finish_stream()
+
+    # -- execution -----------------------------------------------------
+
+    def _checkpoint_path(self, job: Job) -> Path:
+        root = self.state_dir / "checkpoints"
+        root.mkdir(parents=True, exist_ok=True)
+        return root / f"{job.id}.ckpt"
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                self._cond.wait_for(
+                    lambda: self._stop
+                    or any(j.status == "queued" for j in self._jobs.values())
+                )
+                if self._stop:
+                    return
+                queued = sorted(
+                    (j for j in self._jobs.values() if j.status == "queued"),
+                    key=lambda j: j.seq,
+                )
+                job = queued[0]
+                job.status = "running"
+                group = [job]
+                if job.spec.kind == "fsim":
+                    key = self._batch_key(job)
+                    for other in queued[1:]:
+                        if other.spec.kind == "fsim" and self._batch_key(other) == key:
+                            other.status = "running"
+                            group.append(other)
+            try:
+                if job.spec.kind == "run":
+                    self._execute_run(job)
+                else:
+                    self._execute_fsim_group(group)
+            except Exception as exc:  # pragma: no cover - last-resort guard
+                for j in group:
+                    self._finish(j, error=f"{type(exc).__name__}: {exc}")
+
+    def _batch_key(self, job: Job) -> tuple:
+        spec = job.spec
+        ckey = circuit_key(spec.circuit, spec.scale, spec.seed)
+        return (sim_key(ckey, spec.config), len(spec.vectors or ()))
+
+    def _finish(self, job: Job, result: Optional[dict] = None,
+                error: Optional[str] = None) -> None:
+        """Record a terminal state: ledger, counters, trace merge, wake.
+
+        The event stream is completed *after* the status flip so a
+        client that drains the stream to its end is guaranteed to see
+        a terminal status on its next poll.
+        """
+        if error is None:
+            self.ledger.append({"event": "completed", "id": job.id, "result": result})
+            if self.collector.enabled:
+                self.collector.inc("service.jobs.completed")
+        else:
+            self.ledger.append({"event": "failed", "id": job.id, "error": error})
+            if self.collector.enabled:
+                self.collector.inc("service.jobs.failed")
+        with self._cond:
+            job.result = result
+            job.error = error
+            job.status = "done" if error is None else "failed"
+            self._cond.notify_all()
+        job.collector.finish_stream()
+        if self.collector.enabled:
+            self.collector.merge_worker_trace(
+                f"job.{job.id}", job.collector.records()
+            )
+
+    def _execute_run(self, job: Job) -> None:
+        spec = job.spec
+        ckey = circuit_key(spec.circuit, spec.scale, spec.seed)
+        compiled = self.registry.compiled(ckey)
+        # The generator applies per-circuit overrides itself; the warm
+        # registry must key on the same effective config or a deep
+        # circuit's simulator would alias a shallow one's.
+        config = spec.config.for_circuit(compiled.circuit.name)
+        checkpoint = self._checkpoint_path(job)
+        resume = job.resumed and checkpoint.exists()
+        sim = self.registry.lease(ckey, config)
+        try:
+            try:
+                result = self._run_generator(
+                    job, compiled, config, sim, checkpoint, resume
+                )
+            except CheckpointError as exc:
+                if not resume:
+                    raise
+                # The checkpoint is torn or from an incompatible
+                # config/circuit.  The seed is deterministic, so a
+                # fresh run produces the same result the resumed one
+                # would have — fall back instead of failing the job.
+                if self.collector.enabled:
+                    self.collector.inc("service.jobs.resume_fallback")
+                sim.reset()
+                result = self._run_generator(
+                    job, compiled, config, sim, checkpoint, False
+                )
+        except Exception as exc:
+            self.registry.discard(sim)
+            self._finish(job, error=f"{type(exc).__name__}: {exc}")
+            return
+        self.registry.release(ckey, config, sim)
+        payload = result_to_json(result)
+        payload["fault_coverage"] = result.fault_coverage
+        payload["summary"] = result.summary()
+        self._finish(job, result=payload)
+
+    @staticmethod
+    def _run_generator(job, compiled, config, sim, checkpoint, resume):
+        generator = GaTestGenerator(
+            compiled, config, collector=job.collector, fsim=sim
+        )
+        try:
+            return generator.run(
+                checkpoint_path=checkpoint,
+                checkpoint_every=job.spec.checkpoint_every,
+                resume=resume,
+            )
+        finally:
+            generator.close()
+
+    def _execute_fsim_group(self, group: List[Job]) -> None:
+        spec = group[0].spec
+        ckey = circuit_key(spec.circuit, spec.scale, spec.seed)
+        compiled = self.registry.compiled(ckey)
+        n_pi = compiled.circuit.num_inputs
+        bad = [
+            job for job in group
+            if job.spec.vectors and len(job.spec.vectors[0]) != n_pi
+        ]
+        for job in bad:
+            self._finish(
+                job,
+                error=(
+                    f"vectors are {len(job.spec.vectors[0])} bits wide, "
+                    f"circuit {compiled.circuit.name} has {n_pi} primary inputs"
+                ),
+            )
+        group = [job for job in group if job not in bad]
+        if not group:
+            return
+        if self.collector.enabled and len(group) > 1:
+            self.collector.inc("service.batch.passes")
+            self.collector.inc("service.batch.jobs", len(group))
+        sim = self.registry.lease(ckey, spec.config)
+        try:
+            total_faults = sim.num_faults
+            with group[0].collector.span(
+                "service.fsim", circuit=compiled.circuit.name, jobs=len(group)
+            ):
+                evals = sim.evaluate_batch([job.spec.vectors for job in group])
+        except Exception as exc:
+            self.registry.discard(sim)
+            for job in group:
+                self._finish(job, error=f"{type(exc).__name__}: {exc}")
+            return
+        self.registry.release(ckey, spec.config, sim)
+        for job, ev in zip(group, evals):
+            self._finish(
+                job,
+                result={
+                    "circuit_name": compiled.circuit.name,
+                    "detected": ev.detected,
+                    "total_faults": total_faults,
+                    "fault_coverage": (
+                        ev.detected / total_faults if total_faults else 0.0
+                    ),
+                    "vectors": len(job.spec.vectors),
+                },
+            )
+
+    # -- teardown ------------------------------------------------------
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop workers (after in-flight jobs finish) and close the cache."""
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self.registry.close()

@@ -1,0 +1,237 @@
+"""Warm-state registry: compiled circuits and resident fault simulators.
+
+The whole point of running ATPG as a resident service instead of a
+fresh ``gatest`` process per request is that the expensive, run-invariant
+work — parsing/synthesizing the circuit, levelizing and compiling it,
+building the simulation kernel (:func:`repro.sim.codegen.kernel_for`),
+and spinning up ``eval_jobs`` worker pools — happens once and is reused
+by every later job that asks for the same thing.  This module is that
+reuse: a keyed, LRU-evicting registry of
+
+* **compiled circuits**, keyed by ``(spec, scale, seed)`` — the exact
+  inputs :func:`repro.circuit.library.resolve_spec` resolves, so two
+  jobs naming the same circuit share one :class:`CompiledCircuit`
+  object.  Kernels are cached per compiled-circuit *object* inside
+  :mod:`repro.sim.codegen`, so keeping the object resident is what
+  makes repeat requests skip kernel compilation (the
+  ``codegen.kernels.built`` / ``numpy.plan.built`` counters stay flat).
+* **fault simulators**, keyed by the circuit key plus every
+  config field that shapes the simulator (fault model, word width,
+  kernel, eval parallelism/cache/resilience — the same fields
+  :func:`repro.core.generator.make_fault_simulator` consumes).  A
+  resident simulator keeps its parallel evaluator's worker pool warm
+  across jobs.
+
+Simulators are handed out under a **lease**: :meth:`WarmRegistry.lease`
+removes the entry from the registry (exclusive use — two jobs never
+share one mutable simulator), and :meth:`WarmRegistry.release` resets
+it to power-up state and puts it back.  A concurrent job that misses
+because the entry is out on lease simply builds its own; whichever
+returns last wins the registry slot, the other is closed.  Stale-cache
+bugs are prevented structurally: any config change that would alter the
+simulator lands in the key, so it can only miss, never alias (see
+docs/ROBUSTNESS.md §5).
+
+Counters (on the registry's collector, surfaced via ``GET /healthz``):
+``service.cache.hits``, ``service.cache.misses``,
+``service.cache.evictions``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ..circuit.library import resolve_spec
+from ..core.config import TestGenConfig
+from ..core.generator import make_fault_simulator
+from ..parallel.shutdown import close_quietly
+from ..sim.compile import CompiledCircuit, compile_circuit
+from ..telemetry import NullCollector, get_collector
+
+#: Environment knob: max resident simulators (compiled circuits follow).
+CACHE_SIZE_ENV = "REPRO_SERVICE_CACHE_SIZE"
+
+#: Default maximum number of resident simulators.
+DEFAULT_CACHE_SIZE = 8
+
+#: (spec, scale, seed) — everything circuit resolution depends on.
+CircuitKey = Tuple[str, float, int]
+
+
+def circuit_key(spec: str, scale: float, seed: int) -> CircuitKey:
+    """The registry key for one resolvable circuit.
+
+    ``seed`` (and ``scale``) only influence resolution for synthesized
+    ISCAS89 profile names; a ``.bench`` path or builtin name resolves to
+    the same circuit regardless, so those keys canonicalize seed/scale
+    away — a seed-7 run job on ``s27`` warm-hits the simulator a seed-1
+    job left behind.
+    """
+    from pathlib import Path
+
+    from ..circuit.library import list_builtin
+
+    path = Path(spec)
+    if (path.suffix == ".bench" and path.exists()) or spec in list_builtin():
+        return (spec, 1.0, 0)
+    return (spec, float(scale), int(seed))
+
+
+def sim_key(ckey: CircuitKey, config: TestGenConfig) -> tuple:
+    """The registry key for one resident simulator.
+
+    Covers every :class:`TestGenConfig` field that
+    :func:`~repro.core.generator.make_fault_simulator` reads — a config
+    change that would produce a different simulator produces a
+    different key, so a warm entry can never be served stale.
+    """
+    return (
+        ckey,
+        config.fault_model,
+        config.word_width,
+        config.sim_kernel,
+        config.eval_jobs,
+        config.eval_cache,
+        config.eval_task_timeout,
+        config.eval_retries,
+    )
+
+
+def cache_size_from_env(default: int = DEFAULT_CACHE_SIZE) -> int:
+    """Resolve the registry capacity from :data:`CACHE_SIZE_ENV`."""
+    raw = os.environ.get(CACHE_SIZE_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return max(1, value)
+
+
+class WarmRegistry:
+    """Thread-safe LRU cache of compiled circuits and leased simulators."""
+
+    def __init__(
+        self,
+        collector: Optional[NullCollector] = None,
+        max_sims: Optional[int] = None,
+    ) -> None:
+        self.collector = collector if collector is not None else get_collector()
+        self.max_sims = max_sims if max_sims is not None else cache_size_from_env()
+        self._lock = threading.Lock()
+        self._circuits: "OrderedDict[CircuitKey, CompiledCircuit]" = OrderedDict()
+        self._sims: "OrderedDict[tuple, object]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Compiled circuits
+    # ------------------------------------------------------------------
+
+    def compiled(self, ckey: CircuitKey) -> CompiledCircuit:
+        """The compiled circuit for ``ckey``, parsing/compiling on miss.
+
+        Raises :class:`ValueError` for an unresolvable spec (the HTTP
+        layer maps that to a 400).
+        """
+        with self._lock:
+            cached = self._circuits.get(ckey)
+            if cached is not None:
+                self._circuits.move_to_end(ckey)
+                return cached
+        # Resolve outside the lock: synthesis/compilation can be slow.
+        spec, scale, seed = ckey
+        compiled = compile_circuit(resolve_spec(spec, scale=scale, seed=seed))
+        with self._lock:
+            # A racing thread may have resolved the same key; keep the
+            # first object so kernel caches (keyed by object identity)
+            # converge on one CompiledCircuit per key.
+            existing = self._circuits.get(ckey)
+            if existing is not None:
+                return existing
+            self._circuits[ckey] = compiled
+            while len(self._circuits) > self.max_sims:
+                self._circuits.popitem(last=False)
+            return compiled
+
+    # ------------------------------------------------------------------
+    # Resident simulators
+    # ------------------------------------------------------------------
+
+    def lease(self, ckey: CircuitKey, config: TestGenConfig):
+        """Lease a simulator for ``(ckey, config)``, building on miss.
+
+        The returned simulator is at power-up state and exclusively
+        owned by the caller until :meth:`release` (or :meth:`discard`).
+        Simulator-side telemetry (kernel builds, simulated frames,
+        cache traffic) lands on the registry's collector, which owns
+        the simulator's lifetime; per-job collectors only see
+        generator-side records.
+        """
+        skey = sim_key(ckey, config)
+        with self._lock:
+            sim = self._sims.pop(skey, None)
+        if sim is not None:
+            if self.collector.enabled:
+                self.collector.inc("service.cache.hits")
+            return sim
+        if self.collector.enabled:
+            self.collector.inc("service.cache.misses")
+        compiled = self.compiled(ckey)
+        return make_fault_simulator(compiled, config, collector=self.collector)
+
+    def release(self, ckey: CircuitKey, config: TestGenConfig, sim) -> None:
+        """Return a leased simulator to the registry, reset to power-up.
+
+        If the slot was refilled by a racing job (or capacity forces an
+        eviction), the loser is closed — worker pools never leak.
+        """
+        skey = sim_key(ckey, config)
+        try:
+            sim.reset()
+        except Exception:
+            # A simulator that cannot reset is not safe to reuse.
+            close_quietly(sim)
+            return
+        evicted = []
+        with self._lock:
+            if skey in self._sims:
+                evicted.append(sim)  # racing release won the slot
+            else:
+                self._sims[skey] = sim
+                self._sims.move_to_end(skey)
+            while len(self._sims) > self.max_sims:
+                _, old = self._sims.popitem(last=False)
+                evicted.append(old)
+        for old in evicted:
+            if self.collector.enabled:
+                self.collector.inc("service.cache.evictions")
+            close_quietly(old)
+
+    def discard(self, sim) -> None:
+        """Close a leased simulator instead of returning it (failed job)."""
+        close_quietly(sim)
+
+    # ------------------------------------------------------------------
+    # Introspection / teardown
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Resident-entry counts for ``GET /healthz``."""
+        with self._lock:
+            return {
+                "circuits": len(self._circuits),
+                "sims": len(self._sims),
+                "capacity": self.max_sims,
+            }
+
+    def close(self) -> None:
+        """Close every resident simulator (service shutdown)."""
+        with self._lock:
+            sims = list(self._sims.values())
+            self._sims.clear()
+            self._circuits.clear()
+        for sim in sims:
+            close_quietly(sim)

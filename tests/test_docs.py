@@ -1,10 +1,11 @@
-"""Documentation health: no dead relative links in the markdown docs.
+"""Documentation health: links resolve and CLI quickstarts are real.
 
 Runs tools/check_doc_links.py (the same script CI runs) over the
-repository's README and docs/*.md, so a renamed file or heading fails
-tier-1 tests, not just the separate CI step.
+repository's README and docs/*.md, so a renamed file, heading, or CLI
+flag fails tier-1 tests, not just the separate CI step.
 """
 
+import shutil
 import subprocess
 import sys
 from pathlib import Path
@@ -12,19 +13,73 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
+def run_checker(root):
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_doc_links.py"),
+         str(root)],
+        capture_output=True,
+        text=True,
+    )
+
+
 class TestDocLinks:
     def test_no_dead_links(self):
-        result = subprocess.run(
-            [sys.executable, str(REPO_ROOT / "tools" / "check_doc_links.py"),
-             str(REPO_ROOT)],
-            capture_output=True,
-            text=True,
-        )
+        result = run_checker(REPO_ROOT)
         assert result.returncode == 0, result.stdout
 
     def test_documentation_suite_is_linked_from_readme(self):
         """The README's Documentation index must reference every doc."""
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
         for doc in ("DESIGN.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md",
-                    "docs/PERFORMANCE.md", "docs/TELEMETRY.md"):
+                    "docs/PERFORMANCE.md", "docs/TELEMETRY.md",
+                    "docs/KERNELS.md", "docs/ROBUSTNESS.md",
+                    "docs/SERVICE.md"):
             assert f"({doc})" in readme, f"README does not link {doc}"
+
+
+class TestCliExampleChecking:
+    """The checker must catch docs quoting flags the CLI no longer has."""
+
+    def _check(self, tmp_path, markdown):
+        root = tmp_path / "repo"
+        root.mkdir()
+        # The checker introspects the real parsers from <root>/src.
+        shutil.copytree(REPO_ROOT / "src", root / "src")
+        (root / "README.md").write_text(markdown, encoding="utf-8")
+        return run_checker(root)
+
+    def test_valid_examples_pass(self, tmp_path):
+        result = self._check(tmp_path, (
+            "# x\n\n```bash\n"
+            "gatest run s27 --seed 42 -o tests.txt\n"
+            "REPRO_SIM_KERNEL=numpy gatest fsim s27 tests.txt\n"
+            "gatest serve --port 0 --state-dir /tmp/state\n"
+            "python -m repro.cli run s27 \\\n  --eval-jobs 4\n"
+            "```\n"
+        ))
+        assert result.returncode == 0, result.stdout
+
+    def test_phantom_flag_fails(self, tmp_path):
+        result = self._check(
+            tmp_path, "# x\n\n```bash\ngatest run s27 --turbo\n```\n"
+        )
+        assert result.returncode == 1
+        assert "--turbo" in result.stdout
+        assert "stale CLI example" in result.stdout
+
+    def test_unknown_subcommand_fails(self, tmp_path):
+        result = self._check(
+            tmp_path, "# x\n\n```bash\ngatest launch s27\n```\n"
+        )
+        assert result.returncode == 1
+        assert "unknown gatest subcommand" in result.stdout
+
+    def test_console_output_lines_are_not_commands(self, tmp_path):
+        """In console fences only `$ `-prompted lines are commands."""
+        result = self._check(tmp_path, (
+            "# x\n\n```console\n"
+            "$ gatest run s27 --seed 1\n"
+            "s27: det 26/26 (100.0%) --not-a-flag\n"
+            "```\n"
+        ))
+        assert result.returncode == 0, result.stdout

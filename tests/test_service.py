@@ -1,0 +1,520 @@
+"""The job service: lifecycle, warm cache, bit-identity, recovery.
+
+Four layers under test (docs/SERVICE.md):
+
+* the in-process pieces — :func:`~repro.service.jobs.parse_job`
+  validation, :class:`~repro.service.state.WarmRegistry` lease/release
+  and eviction, the sealed :class:`~repro.service.jobs.JobLedger`;
+* the :class:`~repro.service.jobs.JobManager` — lifecycle, coalescing,
+  fsim batching, and bit-identity against direct library runs;
+* the HTTP front over a real localhost socket — endpoints, error
+  codes, the live event stream (validated against the telemetry
+  schema), and warm-cache counters via ``GET /healthz``;
+* the crash contract — SIGKILL a live ``gatest serve`` mid-run,
+  restart on the same state dir, and the recovered job finishes
+  bit-identically to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.circuit import s27
+from repro.core import GaTestGenerator, TestGenConfig
+from repro.faults import FaultSimulator
+from repro.service import (
+    JobLedger,
+    JobManager,
+    JobValidationError,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    WarmRegistry,
+    circuit_key,
+    parse_job,
+    sim_key,
+)
+from repro.telemetry import TelemetryCollector, validate_trace
+
+from .conftest import random_vectors
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+
+class TestParseJob:
+    def test_run_spec_roundtrips_config(self):
+        spec = parse_job(
+            {"kind": "run", "circuit": "s27", "config": {"seed": 7, "word_width": 16}}
+        )
+        assert spec.kind == "run"
+        assert spec.config.seed == 7
+        assert spec.config.word_width == 16
+        assert spec.checkpoint_every >= 1
+
+    def test_fsim_spec(self):
+        spec = parse_job(
+            {"kind": "fsim", "circuit": "s27", "vectors": [[0, 1], [1, 0]]}
+        )
+        assert spec.vectors == [[0, 1], [1, 0]]
+
+    @pytest.mark.parametrize(
+        "payload, message",
+        [
+            ("nope", "JSON object"),
+            ({}, "'kind'"),
+            ({"kind": "zap"}, "'kind'"),
+            ({"kind": "run"}, "'circuit'"),
+            ({"kind": "run", "circuit": "s27", "config": 3}, "'config'"),
+            ({"kind": "run", "circuit": "s27", "config": {"bogus": 1}}, "config"),
+            ({"kind": "run", "circuit": "s27", "scale": -1}, "'scale'"),
+            ({"kind": "run", "circuit": "s27", "vectors": []}, "unknown field"),
+            ({"kind": "fsim", "circuit": "s27"}, "'vectors'"),
+            ({"kind": "fsim", "circuit": "s27", "vectors": [[0, 2]]}, "0/1"),
+            ({"kind": "fsim", "circuit": "s27", "vectors": [[0], [0, 1]]}, "bits"),
+        ],
+    )
+    def test_rejections(self, payload, message):
+        with pytest.raises(JobValidationError, match=re.escape(message)):
+            parse_job(payload)
+
+    def test_identical_payloads_share_a_digest(self):
+        a = parse_job({"kind": "run", "circuit": "s27", "config": {"seed": 1}})
+        b = parse_job({"config": {"seed": 1}, "circuit": "s27", "kind": "run"})
+        c = parse_job({"kind": "run", "circuit": "s27", "config": {"seed": 2}})
+        assert a.digest == b.digest != c.digest
+
+
+# ----------------------------------------------------------------------
+# Warm registry
+# ----------------------------------------------------------------------
+
+
+class TestWarmRegistry:
+    CONFIG = TestGenConfig(seed=1)
+
+    def test_lease_miss_then_hit(self):
+        collector = TelemetryCollector()
+        registry = WarmRegistry(collector=collector, max_sims=4)
+        key = circuit_key("s27", 1.0, 0)
+        sim = registry.lease(key, self.CONFIG)
+        assert collector.counters["service.cache.misses"] == 1
+        registry.release(key, self.CONFIG, sim)
+        again = registry.lease(key, self.CONFIG)
+        assert again is sim
+        assert collector.counters["service.cache.hits"] == 1
+        registry.close()
+
+    def test_released_simulator_is_back_at_powerup(self):
+        registry = WarmRegistry(max_sims=4)
+        key = circuit_key("s27", 1.0, 0)
+        sim = registry.lease(key, self.CONFIG)
+        sim.commit(random_vectors(s27(), 4))
+        assert sim.vectors_applied == 4
+        registry.release(key, self.CONFIG, sim)
+        again = registry.lease(key, self.CONFIG)
+        assert again.vectors_applied == 0
+        assert again.detected_count == 0
+        registry.close()
+
+    def test_config_change_is_a_different_key(self):
+        key = circuit_key("s27", 1.0, 0)
+        assert sim_key(key, self.CONFIG) != sim_key(
+            key, TestGenConfig(seed=1, word_width=16)
+        )
+        # seed alone shapes the RNG, not the simulator: same key.
+        assert sim_key(key, self.CONFIG) == sim_key(key, TestGenConfig(seed=9))
+
+    def test_builtin_circuit_key_ignores_seed(self):
+        assert circuit_key("s27", 1.0, 3) == circuit_key("s27", 2.0, 8)
+        assert circuit_key("s298", 0.3, 3) != circuit_key("s298", 0.3, 8)
+
+    def test_lru_eviction_closes_the_evicted_simulator(self):
+        collector = TelemetryCollector()
+        registry = WarmRegistry(collector=collector, max_sims=1)
+        key = circuit_key("s27", 1.0, 0)
+        other = TestGenConfig(seed=1, word_width=16)
+        sim_a = registry.lease(key, self.CONFIG)
+        sim_b = registry.lease(key, other)
+        registry.release(key, self.CONFIG, sim_a)
+        registry.release(key, other, sim_b)
+        assert collector.counters["service.cache.evictions"] == 1
+        assert registry.stats()["sims"] == 1
+        registry.close()
+
+
+# ----------------------------------------------------------------------
+# Ledger
+# ----------------------------------------------------------------------
+
+
+class TestJobLedger:
+    def test_roundtrip(self, tmp_path):
+        ledger = JobLedger(tmp_path / "ledger.jsonl")
+        ledger.append({"event": "accepted", "id": "j1", "seq": 1, "payload": {}})
+        ledger.append({"event": "completed", "id": "j1", "result": {"x": 1}})
+        records = ledger.load()
+        assert [r["event"] for r in records] == ["accepted", "completed"]
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = JobLedger(path)
+        ledger.append({"event": "accepted", "id": "j1", "seq": 1, "payload": {}})
+        with open(path, "a") as handle:
+            handle.write('{"event": "completed", "id"')  # torn mid-append
+        assert [r["event"] for r in ledger.load()] == ["accepted"]
+
+    def test_bitflipped_line_is_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = JobLedger(path)
+        ledger.append({"event": "accepted", "id": "j1", "seq": 1, "payload": {}})
+        ledger.append({"event": "completed", "id": "j1", "result": None})
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0].replace('"accepted"', '"rejected"')
+        path.write_text("\n".join(lines) + "\n")
+        assert [r["event"] for r in ledger.load()] == ["completed"]
+
+
+# ----------------------------------------------------------------------
+# Manager lifecycle (no HTTP)
+# ----------------------------------------------------------------------
+
+
+class TestJobManager:
+    def _manager(self, tmp_path, **kw):
+        kw.setdefault("workers", 1)
+        collector = kw.pop("collector", TelemetryCollector())
+        return JobManager(tmp_path / "state", collector=collector, **kw), collector
+
+    def test_run_job_matches_direct_library_run(self, tmp_path):
+        reference = GaTestGenerator(s27(), TestGenConfig(seed=3)).run()
+        manager, _ = self._manager(tmp_path)
+        try:
+            job, coalesced = manager.submit(
+                {"kind": "run", "circuit": "s27", "config": {"seed": 3}}
+            )
+            assert not coalesced
+            assert manager.wait_idle(timeout=300)
+            assert job.status == "done", job.error
+            assert job.result["test_sequence"] == [
+                list(v) for v in reference.test_sequence
+            ]
+            assert job.result["detected"] == reference.detected
+            assert job.result["total_faults"] == reference.total_faults
+        finally:
+            manager.close()
+
+    def test_warm_repeat_skips_kernel_compile(self, tmp_path):
+        manager, collector = self._manager(tmp_path)
+        try:
+            first, _ = manager.submit(
+                {"kind": "run", "circuit": "s27", "config": {"seed": 1}}
+            )
+            assert manager.wait_idle(timeout=300)
+            assert first.status == "done", first.error
+            built_cold = {
+                name: value
+                for name, value in collector.counters.items()
+                if name in ("codegen.kernels.built", "numpy.plan.built")
+                or name.startswith("numpy.plan.")
+            }
+            second, _ = manager.submit(
+                {"kind": "run", "circuit": "s27", "config": {"seed": 2}}
+            )
+            assert manager.wait_idle(timeout=300)
+            assert second.status == "done", second.error
+            built_warm = {
+                name: value
+                for name, value in collector.counters.items()
+                if name in built_cold or name.startswith("numpy.plan.")
+            }
+            assert built_warm == built_cold  # no new kernel/plan builds
+            assert collector.counters["service.cache.hits"] == 1
+            assert collector.counters["service.cache.misses"] == 1
+        finally:
+            manager.close()
+
+    def test_identical_requests_coalesce(self, tmp_path):
+        manager, collector = self._manager(tmp_path)
+        try:
+            payload = {"kind": "run", "circuit": "s27", "config": {"seed": 1}}
+            a, first = manager.submit(payload)
+            b, second = manager.submit(payload)
+            assert not first and second
+            assert a is b
+            assert collector.counters["service.jobs.coalesced"] == 1
+            assert manager.wait_idle(timeout=300)
+        finally:
+            manager.close()
+
+    def test_fsim_batch_matches_commit_per_job(self, tmp_path):
+        circuit = s27()
+        batches = [random_vectors(circuit, 4, seed=s) for s in range(3)]
+        expected = []
+        for vectors in batches:
+            sim = FaultSimulator(circuit)
+            sim.commit(vectors)
+            expected.append(sim.detected_count)
+            sim.close()
+        manager, collector = self._manager(tmp_path)
+        try:
+            jobs = [
+                manager.submit(
+                    {"kind": "fsim", "circuit": "s27", "seed": i, "vectors": v}
+                )[0]
+                for i, v in enumerate(batches)
+            ]
+            assert manager.wait_idle(timeout=300)
+            for job, want in zip(jobs, expected):
+                assert job.status == "done", job.error
+                assert job.result["detected"] == want
+        finally:
+            manager.close()
+
+    def test_fsim_width_mismatch_fails_cleanly(self, tmp_path):
+        manager, _ = self._manager(tmp_path)
+        try:
+            job, _ = manager.submit(
+                {"kind": "fsim", "circuit": "s27", "vectors": [[0, 1]]}
+            )
+            assert manager.wait_idle(timeout=300)
+            assert job.status == "failed"
+            assert "primary inputs" in job.error
+        finally:
+            manager.close()
+
+    def test_unknown_circuit_rejected_at_submit(self, tmp_path):
+        manager, _ = self._manager(tmp_path)
+        try:
+            with pytest.raises(JobValidationError, match="unknown circuit"):
+                manager.submit(
+                    {"kind": "run", "circuit": "never-heard-of-it",
+                     "config": {"seed": 1}}
+                )
+        finally:
+            manager.close()
+
+    def test_restart_recovers_finished_and_unfinished_jobs(self, tmp_path):
+        manager, _ = self._manager(tmp_path)
+        done_payload = {"kind": "run", "circuit": "s27", "config": {"seed": 1}}
+        job, _ = manager.submit(done_payload)
+        assert manager.wait_idle(timeout=300)
+        assert job.status == "done", job.error
+        result = job.result
+        # Forge an accepted-but-never-finished ledger entry (what a
+        # SIGKILL mid-run leaves behind).
+        manager.ledger.append(
+            {"event": "accepted", "id": "j9999-deadbeef", "seq": 9999,
+             "payload": {"kind": "run", "circuit": "s27",
+                         "config": {"seed": 6}}}
+        )
+        manager.close()
+
+        collector = TelemetryCollector()
+        revived = JobManager(tmp_path / "state", collector=collector, workers=1)
+        try:
+            restored = revived.get(job.id)
+            assert restored is not None
+            assert restored.status == "done"
+            assert restored.result == result
+            assert revived.wait_idle(timeout=300)
+            recovered = revived.get("j9999-deadbeef")
+            assert recovered is not None
+            assert recovered.status == "done", recovered.error
+            assert collector.counters["service.jobs.resumed"] == 1
+        finally:
+            revived.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP over a real localhost socket
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def live_service(tmp_path):
+    """A served JobManager on an ephemeral localhost port."""
+    collector = TelemetryCollector(source="repro.service")
+    manager = JobManager(tmp_path / "state", collector=collector, workers=1)
+    server = ServiceServer(manager, port=0)
+    ready = threading.Event()
+
+    def run():
+        async def go():
+            await server.start()
+            ready.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(go())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10), "server failed to bind"
+    client = ServiceClient(port=server.port)
+    yield client, collector
+    try:
+        client.shutdown()
+    except (ServiceError, OSError):
+        pass
+    thread.join(timeout=30)
+    assert not thread.is_alive(), "server thread failed to shut down"
+
+
+class TestHttpApi:
+    def test_healthz(self, live_service):
+        client, _ = live_service
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert set(health["jobs"]) == {"queued", "running", "done", "failed"}
+        assert health["cache"]["capacity"] >= 1
+
+    def test_job_lifecycle_and_listing(self, live_service):
+        client, _ = live_service
+        job = client.submit(
+            {"kind": "run", "circuit": "s27", "config": {"seed": 1}}
+        )
+        assert job["status"] in ("queued", "running")
+        done = client.wait(job["id"], timeout=300)
+        assert done["status"] == "done", done["error"]
+        assert done["result"]["fault_coverage"] > 0.5
+        assert any(j["id"] == job["id"] for j in client.jobs())
+
+    def test_run_result_matches_cli_bit_for_bit(self, live_service, tmp_path):
+        client, _ = live_service
+        out = tmp_path / "cli-tests.txt"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "run", "s27", "--seed", "5",
+             "-o", str(out)],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        cli_vectors = [
+            [int(ch) for ch in line]
+            for line in out.read_text().splitlines()
+            if line and not line.startswith("#")
+        ]
+        job = client.submit(
+            {"kind": "run", "circuit": "s27", "config": {"seed": 5}}
+        )
+        done = client.wait(job["id"], timeout=300)
+        assert done["status"] == "done", done["error"]
+        assert done["result"]["test_sequence"] == cli_vectors
+
+    def test_warm_counters_via_healthz(self, live_service):
+        client, _ = live_service
+        first = client.submit(
+            {"kind": "run", "circuit": "s27", "config": {"seed": 1}}
+        )
+        client.wait(first["id"], timeout=300)
+        cold = client.healthz()["counters"]
+        second = client.submit(
+            {"kind": "run", "circuit": "s27", "config": {"seed": 2}}
+        )
+        client.wait(second["id"], timeout=300)
+        warm = client.healthz()["counters"]
+        assert warm["service.cache.hits"] == 1
+        assert warm["service.cache.misses"] == cold["service.cache.misses"] == 1
+        for name in ("codegen.kernels.built", "numpy.plan.built"):
+            assert warm.get(name, 0) == cold.get(name, 0), name
+
+    def test_event_stream_is_a_valid_trace(self, live_service):
+        client, _ = live_service
+        job = client.submit(
+            {"kind": "run", "circuit": "s27", "config": {"seed": 1}}
+        )
+        records = list(client.events(job["id"]))
+        validate_trace(records)  # meta first, every record schema-valid
+        kinds = {record["kind"] for record in records}
+        assert {"meta", "generation", "stage", "span", "counter"} <= kinds
+        # The stream only completes once the job has.
+        assert client.job(job["id"])["status"] == "done"
+
+    def test_error_codes(self, live_service):
+        client, _ = live_service
+        with pytest.raises(ServiceError) as err:
+            client.submit({"kind": "zap"})
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client.job("j0000-nothere")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/nowhere")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client._request("POST", "/healthz")
+        assert err.value.status == 405
+
+
+# ----------------------------------------------------------------------
+# SIGKILL the whole service, restart, resume bit-identically
+# ----------------------------------------------------------------------
+
+
+class TestKillServiceEndToEnd:
+    def _serve(self, state_dir):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC
+        env.pop("REPRO_CHAOS", None)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--state-dir", str(state_dir), "--workers", "1"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        line = proc.stdout.readline()
+        match = re.search(r"http://[^:]+:(\d+)", line)
+        assert match, f"no listening line: {line!r}"
+        return proc, ServiceClient(port=int(match.group(1)))
+
+    def test_sigkill_then_restart_resumes_bit_identically(self, tmp_path):
+        reference = GaTestGenerator(s27(), TestGenConfig(seed=4)).run()
+        state = tmp_path / "state"
+
+        victim, client = self._serve(state)
+        try:
+            job = client.submit(
+                {"kind": "run", "circuit": "s27", "config": {"seed": 4},
+                 "checkpoint_every": 1}
+            )
+            ckpt = state / "checkpoints" / f"{job['id']}.ckpt"
+            deadline = time.monotonic() + 60
+            while not ckpt.exists():
+                assert time.monotonic() < deadline, "no checkpoint appeared"
+                time.sleep(0.005)
+        finally:
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=30)
+
+        survivor, client = self._serve(state)
+        try:
+            done = client.wait(job["id"], timeout=300)
+            assert done["status"] == "done", done["error"]
+            assert done["result"]["test_sequence"] == [
+                list(v) for v in reference.test_sequence
+            ]
+            assert done["result"]["detected"] == reference.detected
+            health = client.healthz()
+            assert health["counters"]["service.jobs.resumed"] == 1
+            client.shutdown()
+            assert survivor.wait(timeout=30) == 0
+        finally:
+            if survivor.poll() is None:  # pragma: no cover - cleanup
+                survivor.kill()
+                survivor.wait(timeout=30)

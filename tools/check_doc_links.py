@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
-"""Fail on dead relative links in the repository's markdown docs.
+"""Fail on dead links and phantom CLI flags in the markdown docs.
 
-Checks every ``[text](target)`` link in README.md, the other top-level
-markdown documents, and docs/*.md:
+Two independent checks over README.md, the other top-level markdown
+documents, and docs/*.md:
+
+**Links** — every ``[text](target)``:
 
 * relative file targets must exist (resolved against the linking file);
 * ``#fragment`` anchors — bare or attached to a file target — must
@@ -10,20 +12,34 @@ markdown documents, and docs/*.md:
   (lowercase, punctuation stripped, spaces to hyphens);
 * absolute URLs (``http(s)://``, ``mailto:``) are not checked.
 
-Fenced code blocks and inline code spans are ignored, so example
-snippets cannot produce false positives.  Exit status 0 when every
-link resolves, 1 otherwise (one diagnostic line per dead link) — CI
-runs this, and tests/test_docs.py keeps it in the tier-1 suite.
+For link checking, fenced code blocks and inline code spans are
+ignored, so example snippets cannot produce false positives.
+
+**CLI quickstarts** — every ``gatest`` / ``python -m repro.cli``
+invocation inside a fenced ``bash``/``sh``/``shell``/``console``
+block is parsed (``$ `` prompts, ``#`` comments, line continuations,
+env-var prefixes and ``--opt=value`` all handled) and verified
+against the real argparse parsers (``repro.cli.build_parser`` and
+``repro.harness.experiments.build_parser``): the subcommand must
+exist and every ``--flag`` must be one that subcommand accepts.  A
+doc that quotes a renamed or deleted flag fails the build instead of
+misleading readers.
+
+Exit status 0 when everything resolves, 1 otherwise (one diagnostic
+line per problem) — CI runs this, and tests/test_docs.py keeps it in
+the tier-1 suite.
 
 Usage: python tools/check_doc_links.py [repo_root]
 """
 
 from __future__ import annotations
 
+import argparse
 import re
+import shlex
 import sys
 from pathlib import Path
-from typing import List, Tuple
+from typing import Dict, List, Set, Tuple
 
 #: Documents checked: top-level markdown plus everything under docs/.
 DOC_GLOBS = ("*.md", "docs/*.md")
@@ -57,10 +73,22 @@ def _strip_code(lines: List[str]) -> List[str]:
 
 
 def _anchors(path: Path) -> set:
-    """All heading slugs in one markdown file (duplicate-suffix aware)."""
+    """All heading slugs in one markdown file (duplicate-suffix aware).
+
+    Headings are taken from outside fenced blocks only, but inline code
+    spans keep their *content* — GitHub slugs ``## Foo (`bar baz`)`` as
+    ``foo-bar-baz``, so stripping span text would under-slug.
+    """
     slugs: set = set()
     counts: dict = {}
-    lines = _strip_code(path.read_text(encoding="utf-8").splitlines())
+    in_fence = False
+    lines = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            lines.append(line)
     for line in lines:
         match = _HEADING.match(line)
         if not match:
@@ -94,10 +122,162 @@ def check_file(path: Path, root: Path) -> List[Tuple[int, str, str]]:
     return dead
 
 
+# ----------------------------------------------------------------------
+# CLI quickstart verification
+# ----------------------------------------------------------------------
+
+#: Fence info strings whose blocks are treated as shell transcripts.
+SHELL_FENCES = {"bash", "sh", "shell", "console"}
+
+_FENCE_OPEN = re.compile(r"^(```|~~~)\s*([A-Za-z0-9_+-]*)")
+_ENV_ASSIGN = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*=")
+_SEPARATORS = {"|", "||", "&&", ";", "&"}
+
+
+def _cli_parsers(root: Path) -> Dict[str, Set[str]]:
+    """subcommand name -> accepted option strings, from the real parsers.
+
+    Imports the package from ``root/src`` directly so the check works
+    without an installed package or ``PYTHONPATH`` (the CI docs job
+    runs it on a bare checkout).
+    """
+    src = str(root / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.cli import build_parser as cli_parser
+    from repro.harness.experiments import build_parser as experiments_parser
+
+    def options(parser: argparse.ArgumentParser) -> Set[str]:
+        return {
+            option
+            for action in parser._actions
+            for option in action.option_strings
+        }
+
+    commands: Dict[str, Set[str]] = {}
+    for action in cli_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, sub in action.choices.items():
+                commands[name] = options(sub)
+    # ``experiments`` is dispatched before argparse parsing (see
+    # repro.cli.main); its real flag set lives in the harness parser.
+    commands["experiments"] = options(experiments_parser())
+    return commands
+
+
+def _shell_blocks(raw_lines: List[str]) -> List[Tuple[int, str]]:
+    """(lineno, logical command line) pairs from shell-fenced blocks.
+
+    Handles ``$ `` prompts (console transcripts: non-prompt lines are
+    output and skipped), ``#`` comments, and backslash continuations.
+    """
+    commands: List[Tuple[int, str]] = []
+    in_block = False
+    is_console = False
+    pending: Tuple[int, str] = (0, "")
+    for lineno, raw in enumerate(raw_lines, start=1):
+        fence = _FENCE_OPEN.match(raw.strip())
+        if fence and not in_block:
+            in_block = fence.group(2).lower() in SHELL_FENCES
+            is_console = fence.group(2).lower() == "console"
+            continue
+        if fence and in_block:
+            in_block = False
+            continue
+        if not in_block:
+            continue
+        line = raw.strip()
+        if pending[1]:
+            line = pending[1] + " " + line
+            start = pending[0]
+            pending = (0, "")
+        else:
+            if is_console:
+                if not line.startswith("$"):
+                    continue  # transcript output, not a command
+                line = line.lstrip("$ ")
+            elif line.startswith("$"):
+                line = line.lstrip("$ ")
+            start = lineno
+        if line.endswith("\\"):
+            pending = (start, line[:-1].strip())
+            continue
+        line = re.sub(r"(^|\s)#.*$", "", line).strip()
+        if line:
+            commands.append((start, line))
+    return commands
+
+
+def _gatest_invocations(tokens: List[str]) -> List[List[str]]:
+    """Argument vectors of every gatest invocation in one command line."""
+    invocations: List[List[str]] = []
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        argv: List[str] = []
+        if token == "gatest":
+            i += 1
+        elif (
+            token.startswith("python")
+            and tokens[i + 1 : i + 3] == ["-m", "repro.cli"]
+        ):
+            i += 3
+        else:
+            i += 1
+            continue
+        while i < len(tokens) and tokens[i] not in _SEPARATORS:
+            argv.append(tokens[i])
+            i += 1
+        invocations.append(argv)
+    return invocations
+
+
+def check_cli_blocks(
+    path: Path, commands: Dict[str, Set[str]]
+) -> List[Tuple[int, str, str]]:
+    """Phantom subcommands/flags in one file's shell blocks."""
+    problems: List[Tuple[int, str, str]] = []
+    raw_lines = path.read_text(encoding="utf-8").splitlines()
+    for lineno, line in _shell_blocks(raw_lines):
+        # Drop env-var prefixes so `VAR=x gatest run` parses.
+        try:
+            tokens = shlex.split(line)
+        except ValueError:
+            continue  # unbalanced quotes: prose, not a command
+        while tokens and _ENV_ASSIGN.match(tokens[0]):
+            tokens.pop(0)
+        for argv in _gatest_invocations(tokens):
+            positionals = [t for t in argv if not t.startswith("-")]
+            if not positionals:
+                continue
+            subcommand = positionals[0]
+            if subcommand not in commands:
+                problems.append(
+                    (lineno, subcommand, "unknown gatest subcommand")
+                )
+                continue
+            accepted = commands[subcommand]
+            for token in argv[1:]:
+                if token == "--":
+                    break
+                if not token.startswith("-") or token == "-":
+                    continue
+                flag = token.split("=", 1)[0]
+                if re.fullmatch(r"-\d+(\.\d+)?", flag):
+                    continue  # negative number, not a flag
+                if flag not in accepted:
+                    problems.append(
+                        (lineno, flag,
+                         f"flag not accepted by 'gatest {subcommand}'")
+                    )
+    return problems
+
+
 def main(argv: List[str]) -> int:
     root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parent.parent
     failures = 0
     checked = 0
+    commands = _cli_parsers(root)
     for pattern in DOC_GLOBS:
         for path in sorted(root.glob(pattern)):
             checked += 1
@@ -105,8 +285,12 @@ def main(argv: List[str]) -> int:
                 failures += 1
                 print(f"{path.relative_to(root)}:{lineno}: dead link "
                       f"({reason}): {target}")
+            for lineno, target, reason in check_cli_blocks(path, commands):
+                failures += 1
+                print(f"{path.relative_to(root)}:{lineno}: stale CLI "
+                      f"example ({reason}): {target}")
     print(f"checked {checked} markdown files: "
-          f"{'OK' if not failures else f'{failures} dead link(s)'}")
+          f"{'OK' if not failures else f'{failures} problem(s)'}")
     return 1 if failures else 0
 
 
