@@ -295,7 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--eval-cache", action="store_true",
                      help="force the chromosome evaluation cache on even "
                           "with --eval-jobs 1 (auto-on when N > 1)")
-    run.add_argument("--kernel", choices=["interp", "codegen", "numpy"],
+    run.add_argument("--kernel", choices=["interp", "codegen", "numpy", "c"],
                      default=None,
                      help="simulation kernel backend (default: codegen, or "
                           "$REPRO_SIM_KERNEL; results are bit-identical — "
@@ -325,7 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     fsim.add_argument("--seed", type=int, default=0)
     fsim.add_argument("--scale", type=float, default=1.0)
     fsim.add_argument("-v", "--verbose", action="store_true")
-    fsim.add_argument("--kernel", choices=["interp", "codegen", "numpy"],
+    fsim.add_argument("--kernel", choices=["interp", "codegen", "numpy", "c"],
                       default=None,
                       help="simulation kernel backend (default: codegen; "
                            "see docs/KERNELS.md)")

@@ -150,10 +150,10 @@ class TestGenConfig:
             raise ValueError("eval_jobs must be >= 1")
         if self.n_islands < 1:
             raise ValueError("n_islands must be >= 1")
-        if self.sim_kernel not in (None, "interp", "codegen", "numpy"):
+        if self.sim_kernel not in (None, "interp", "codegen", "numpy", "c"):
             raise ValueError(
                 f"unknown simulation kernel {self.sim_kernel!r}; "
-                "choose 'interp', 'codegen' or 'numpy'"
+                "choose 'interp', 'codegen', 'numpy' or 'c'"
             )
         if self.fault_model not in ("stuck-at", "transition"):
             raise ValueError(

@@ -219,6 +219,14 @@ class FaultSimulator:
     #: model) set this False and keep only the evaluation cache.
     _shardable = True
 
+    #: Whether a kernel's fused ``run_batch`` may replace
+    #: :meth:`_evaluate_batch_serial`: the fused pass replays exactly
+    #: this class's static injection and capture semantics, so any
+    #: subclass that changes either must set this False (the transition
+    #: model does, although it also overrides :meth:`evaluate_batch`
+    #: outright and never reaches the hook).
+    _batch_fusable = True
+
     def __init__(
         self,
         circuit: Union[Circuit, CompiledCircuit],
@@ -826,6 +834,16 @@ class FaultSimulator:
                 )
                 for c in candidates
             ]
+
+        runner = self._kernel.run_batch
+        if (runner is not None and self._batch_fusable
+                and n_cand * len(sample) > DEFAULT_WORD_WIDTH):
+            # Fused vectorized population pass (numpy backend):
+            # bit-identical by the kernel contract; populations narrower
+            # than one machine word stay on the bigint mega-word below,
+            # where array marshaling overhead loses to arbitrary-
+            # precision integers (see docs/KERNELS.md).
+            return runner(self, candidates, sample, count_faulty_events)
 
         compiled = self.compiled
         n = compiled.num_nodes

@@ -130,6 +130,16 @@ class ParallelEvaluator:
             try:
                 from concurrent.futures import ProcessPoolExecutor
 
+                kernel_artifact = None
+                if self.sim.kernel_name == "c":
+                    # Ship the parent's compiled C library so workers
+                    # dlopen it instead of recompiling (they still fall
+                    # back to their own cache/compile if it is unusable).
+                    from ..sim import ckernel
+
+                    kernel_artifact = ckernel.shipping_payload(
+                        self.sim.compiled
+                    )
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.jobs,
                     initializer=init_worker,
@@ -138,6 +148,7 @@ class ParallelEvaluator:
                         list(self.sim.faults),
                         self.sim.word_width,
                         self.sim.kernel_name,
+                        kernel_artifact,
                     ),
                 )
             except OSError:

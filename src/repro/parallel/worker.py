@@ -68,14 +68,24 @@ def init_worker(
     faults,
     word_width: int,
     kernel: Optional[str] = None,
+    kernel_artifact: Optional[Tuple[str, str]] = None,
 ) -> None:
     """Pool initializer: build this process's resident simulator.
 
     ``kernel`` is the parent simulator's *resolved* backend name, so
     every worker compiles the same kernel and sharded results stay
-    bit-identical to the parent's serial pass.
+    bit-identical to the parent's serial pass.  ``kernel_artifact`` is
+    the parent's compiled C library ``(digest, path)`` when the C
+    backend is active: the worker registers it and loads it directly
+    instead of recompiling; an unusable path (deleted cache dir,
+    different mount) just falls through to the worker's own disk cache
+    or a local recompile — same generated source, same results.
     """
     global _SIM, _CHAOS
+    if kernel_artifact is not None:
+        from ..sim import ckernel
+
+        ckernel.preload_artifact(*kernel_artifact)
     _SIM = FaultSimulator(
         compiled, faults=faults, word_width=word_width, kernel=kernel
     )

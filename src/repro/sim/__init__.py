@@ -1,4 +1,11 @@
-"""Simulation substrate: compiled word-parallel and event-driven simulators."""
+"""Simulation substrate: compiled word-parallel and event-driven simulators.
+
+Word-parallel simulation bottoms out in one of four bit-identical kernel
+backends behind :func:`kernel_for` — ``interp`` (reference interpreter),
+``codegen`` (generated straight-line Python, the default), ``numpy``
+(vectorized plane kernel) and ``c`` (compiled C via cffi/ctypes) — see
+docs/KERNELS.md.
+"""
 
 from .codegen import (
     DEFAULT_KERNEL,

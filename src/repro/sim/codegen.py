@@ -38,11 +38,14 @@ interpreter automatically (``codegen.fallbacks``), so ``codegen`` is a
 safe default everywhere.
 
 Backend selection: :func:`resolve_kernel_name` resolves an explicit
-``"interp"``/``"codegen"``/``"numpy"`` request, else the
+``"interp"``/``"codegen"``/``"numpy"``/``"c"`` request, else the
 ``REPRO_SIM_KERNEL`` environment variable, else :data:`DEFAULT_KERNEL`
 (``"codegen"``).  The ``numpy`` backend (:mod:`repro.sim.npkernel`)
 layers a vectorized wide-group runner on top of the generated kernels
-and falls back to the interpreter when numpy is unusable.  See
+and falls back to the interpreter when numpy is unusable; the ``c``
+backend (:mod:`repro.sim.ckernel`) compiles the same straight-line
+evaluation to native code at runtime and falls back to the interpreter
+when no C compiler or cached artifact is available.  See
 docs/KERNELS.md for the kernel-author contract, and
 docs/ARCHITECTURE.md ("Simulation kernels") / docs/PERFORMANCE.md for
 the measured speedups.
@@ -71,7 +74,7 @@ from .compile import (
 DEFAULT_KERNEL = "codegen"
 
 #: Recognized backend names.
-KERNEL_NAMES = ("interp", "codegen", "numpy")
+KERNEL_NAMES = ("interp", "codegen", "numpy", "c")
 
 #: Environment variable consulted when no explicit backend is requested.
 KERNEL_ENV = "REPRO_SIM_KERNEL"
@@ -321,12 +324,14 @@ _CACHE: Dict[int, Tuple["weakref.ref", Dict[str, Callable]]] = {}
 
 
 def clear_kernel_cache() -> None:
-    """Drop every cached generated kernel and numpy plan (tests /
-    memory pressure)."""
+    """Drop every cached generated kernel and backend plan (tests /
+    memory pressure).  On-disk C artifacts survive — they are keyed by
+    circuit digest, not identity."""
     _CACHE.clear()
-    from . import npkernel
+    from . import ckernel, npkernel
 
     npkernel.clear_plan_cache()
+    ckernel.clear_plan_cache()
 
 
 def _build_kernels(compiled: CompiledCircuit, collector) -> Dict[str, Callable]:
@@ -406,10 +411,11 @@ def kernel_for(
 ) -> SimKernel:
     """Resolve and build the simulation kernel for one circuit.
 
-    ``name`` follows :func:`resolve_kernel_name`.  A ``codegen`` or
-    ``numpy`` request that fails to build (pathological circuit,
-    interpreter limit, numpy absent or too old, …) falls back to the
-    interpreter with a warning naming the requested backend and the
+    ``name`` follows :func:`resolve_kernel_name`.  A ``codegen``,
+    ``numpy`` or ``c`` request that fails to build (pathological
+    circuit, interpreter limit, numpy absent or too old, no C compiler
+    and no cached artifact, …) falls back to the interpreter with a
+    warning naming the requested backend and the
     ``<requested>.fallbacks`` counter — never an exception.
     """
     if collector is None:
@@ -431,6 +437,13 @@ def kernel_for(
         try:
             return npkernel.build(compiled, requested, fns, collector)
         except Exception as exc:  # numpy absent/too old/build failure
+            return _fallback_kernel(compiled, requested, exc, collector)
+    if requested == "c":
+        from . import ckernel
+
+        try:
+            return ckernel.build(compiled, requested, fns, collector)
+        except Exception as exc:  # no compiler/cached artifact, cc error
             return _fallback_kernel(compiled, requested, exc, collector)
     num_nodes = compiled.num_nodes
     arity = {instr[0]: len(instr[3]) for instr in compiled.program}

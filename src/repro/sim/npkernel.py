@@ -902,6 +902,234 @@ def _run_group_fused(np, plan: _Plan, collector, sim, group, trace,
 
 
 # ----------------------------------------------------------------------
+# Fused population (batch) runner
+# ----------------------------------------------------------------------
+
+
+def _run_batch_fused(np, plan: _Plan, collector, sim, candidates, sample,
+                     count_faulty_events: bool):
+    """Drop-in replacement for ``FaultSimulator._evaluate_batch_serial``:
+    the whole candidate population scored against the packed plane array
+    in one fused pass per frame, bit-identical results.
+
+    Same slot layout as the bigint mega-word pass: candidate ``c`` owns
+    the block ``[c*S, (c+1)*S)`` over the ``S`` sampled faults, so the
+    replicated injection words and divergence planes are byte-for-byte
+    the packed forms of the serial path's bigints.  The good machines
+    stay on the bigint :class:`~repro.faults.simulator.PatternParallelGood`
+    (one slot per candidate — far below the array break-even), and their
+    per-candidate selector bits are expanded into block masks feeding
+    the same combined detection+capture gather as the group runner.
+    """
+    from ..faults.simulator import CandidateEval, PatternParallelGood
+
+    u64 = np.uint64
+    n = plan.num_nodes
+    n_ffs = len(plan.ff_ids)
+    n_cand = len(candidates)
+    S = len(sample)
+    frames = len(candidates[0])
+    width = n_cand * S
+    w = (width + 63) >> 6
+    mask = (1 << width) - 1
+    block_mask = (1 << S) - 1
+    block_of = [block_mask << (c * S) for c in range(n_cand)]
+    rep = 0
+    for c in range(n_cand):
+        rep |= 1 << (c * S)
+
+    good = PatternParallelGood(
+        sim.compiled, sim.good_state, candidates,
+        count_events=count_faulty_events, kernel=sim._kernel,
+    )
+
+    # Replicated injection + packed present-state base, cached per
+    # committed epoch (another GA generation's population at the same
+    # state and sample reuses them without repacking).
+    ckey = (sim, sim.state_epoch, tuple(sample), n_cand)
+    cached = plan._scratch.get("batch")
+    if cached is not None and cached[0] == ckey:
+        packed, Fall = cached[1], cached[2]
+    else:
+        def replicate(word: int) -> int:
+            return word * rep
+
+        (out_force_s, pin_force_s, _pi_forces_s,
+         ff_out_forces_s, ff_pin_forces_s) = sim._injection_tables(sample)
+        out_force = {node: (replicate(f1), replicate(f0))
+                     for node, (f1, f0) in out_force_s.items()}
+        pin_force = {
+            gate: [(pin, replicate(f1), replicate(f0))
+                   for pin, f1, f0 in entries]
+            for gate, entries in pin_force_s.items()
+        }
+        ff_out_forces = {k: (replicate(f1), replicate(f0))
+                         for k, (f1, f0) in ff_out_forces_s.items()}
+        ff_pin_forces = {k: (replicate(f1), replicate(f0))
+                         for k, (f1, f0) in ff_pin_forces_s.items()}
+        injection = sim._kernel.make_injection(out_force, pin_force)
+        packed = injection.packed(np, plan, ff_out_forces, ff_pin_forces, w)
+
+        ff1 = [0] * n_ffs
+        ff0 = [0] * n_ffs
+        for k in range(n_ffs):
+            value = sim.good_state.ff_values[k]
+            ff1[k] = mask if value == 1 else 0
+            ff0[k] = mask if value == 0 else 0
+        for slot_in_block, fault_id in enumerate(sample):
+            div = sim.divergence.get(fault_id)
+            if not div:
+                continue
+            slot_word = rep << slot_in_block  # this fault in every block
+            nword = ~slot_word
+            for k, value in div.items():
+                ff1[k] &= nword
+                ff0[k] &= nword
+                if value == 1:
+                    ff1[k] |= slot_word
+                elif value == 0:
+                    ff0[k] |= slot_word
+        Fall = _pack_rows(np, ff1 + ff0, w)
+        plan._scratch["batch"] = (ckey, packed, Fall)
+
+    sc = _scratch_for(np, plan, w)
+    V = sc["V"]
+    npass = sc["npass"]
+    maskwords = _pack_word(np, mask, w)
+    V[plan.mask_row] = maskwords
+    V[plan.zero_row] = 0
+    if plan.float_hi > plan.float_lo:
+        V[plan.float_lo:plan.float_hi] = 0
+
+    pi_ids = plan.pi_ids
+    po_ids = plan.po_ids
+    npo = len(po_ids)
+    vpi_all = sc["pi_all"]
+    vff_all = sc["ff_all"]
+    rc_rows = sc["rc_rows"]
+    RC = sc["RC"]
+    RCP = sc["RCP"]
+    rc_fix = packed.rc_fix
+    take = V.take
+    copyto = np.copyto
+    band = np.bitwise_and
+    bor = np.bitwise_or
+    bor_reduce = np.bitwise_or.reduce
+    BLK = _pack_rows(np, block_of, w)
+
+    def expand(bits: int) -> int:
+        """Spread an n_cand-bit selector into full candidate blocks."""
+        word = 0
+        while bits:
+            low = bits & -bits
+            word |= block_of[low.bit_length() - 1]
+            bits ^= low
+        return word
+
+    prop_sum = [0] * n_cand
+    prop_final = [0] * n_cand
+    faulty_events = [0] * n_cand
+    DET = np.zeros(w, dtype=u64)
+    FD = np.empty(w, dtype=u64)
+    PB = np.empty(w, dtype=u64)
+    SRC = Fall
+
+    for frame in range(frames):
+        g1, g0 = good.step(frame)
+        # Primary inputs: each candidate's good PI bits are its own
+        # vector bits, expanded into its block (PI stem forces are
+        # folded into the read sites, as in the group runner).
+        copyto(vpi_all, _pack_rows(
+            np,
+            [expand(g1[pi]) for pi in pi_ids]
+            + [expand(g0[pi]) for pi in pi_ids], w))
+        copyto(vff_all, SRC)
+
+        npass(packed.rank_forces)
+
+        if count_faulty_events:
+            E = packed.event_fix(np, n)
+            EV1 = take(plan.node_rows1, 0)
+            EV0 = take(plan.node_rows0, 0)
+            if E is not None:
+                EV1 = (EV1 | E[0]) & E[3]
+                EV0 = (EV0 | E[1]) & E[2]
+            GB1 = _pack_rows(np, [expand(g1[i]) for i in range(n)], w)
+            GB0 = _pack_rows(np, [expand(g0[i]) for i in range(n)], w)
+            diff = (EV1 ^ GB1) | (EV0 ^ GB0)
+            cnt = np.bitwise_count(diff[None, :, :] & BLK[:, None, :]).sum(
+                axis=(1, 2))
+            for c in range(n_cand):
+                faulty_events[c] += int(cnt[c])
+
+        # Combined detection + capture gather, exactly as the group
+        # runner — the per-frame select masks are per-candidate blocks
+        # instead of whole-word multipliers.
+        take(rc_rows, 0, RC, "clip")
+        if rc_fix is not None:
+            bor(RC, rc_fix[0], RC)
+            band(RC, rc_fix[1], RC)
+        good_next = good.next_state_scalars()
+        gb1 = [0] * n_ffs
+        gb0 = [0] * n_ffs
+        for c in range(n_cand):
+            row = good_next[c]
+            blk = block_of[c]
+            for k in range(n_ffs):
+                value = row[k]
+                if value == 1:
+                    gb1[k] |= blk
+                elif value == 0:
+                    gb0[k] |= blk
+        selb = ([expand(g1[po]) for po in po_ids]
+                + [expand(g0[po]) for po in po_ids]
+                + gb0 + gb1)
+        band(RC, _pack_rows(np, selb, w), RCP)
+        bor_reduce(RCP[:2 * npo], 0, None, FD)
+        bor(DET, FD, DET)
+        bor_reduce(RCP[2 * npo:], 0, None, PB)
+        cnt = np.bitwise_count(PB[None, :] & BLK).sum(axis=1)
+        for c in range(n_cand):
+            count = int(cnt[c])
+            prop_sum[c] += count
+            if frame == frames - 1:
+                prop_final[c] = count
+        SRC = RC[2 * npo:]
+
+    detected = np.bitwise_count(DET[None, :] & BLK).sum(axis=1)
+
+    sim_collector = sim.collector
+    if sim_collector.enabled:
+        sim_collector.inc("sim.batch.calls")
+        sim_collector.inc("sim.batch.candidates", n_cand)
+        sim_collector.inc("sim.batch.frames", frames)
+        sim_collector.inc("sim.batch.faults", S)
+        sim_collector.inc("sim.batch.slot_frames", width * frames)
+        if count_faulty_events:
+            sim_collector.inc("sim.good_events", sum(good.events))
+            sim_collector.inc("sim.faulty_events", sum(faulty_events))
+    if collector.enabled:
+        collector.inc("numpy.batch.passes")
+        collector.inc("numpy.batch.slot_frames", width * frames)
+
+    return [
+        CandidateEval(
+            frames=frames,
+            detected=int(detected[c]),
+            prop_final=prop_final[c],
+            prop_sum=prop_sum[c],
+            faulty_events=faulty_events[c],
+            good_events=good.events[c],
+            ffs_set=good.ffs_set[c],
+            ffs_changed=good.ffs_changed[c],
+            num_faults_simulated=S,
+            num_ffs=n_ffs,
+        )
+        for c in range(n_cand)
+    ]
+
+
+# ----------------------------------------------------------------------
 # Kernel assembly (called by repro.sim.codegen.kernel_for)
 # ----------------------------------------------------------------------
 
@@ -936,6 +1164,10 @@ def build(compiled: CompiledCircuit, requested: str, fns, collector):
         return _run_group_fused(np, plan, collector, sim, group, trace,
                                 count_faulty_events, inj)
 
+    def run_batch(sim, candidates, sample, count_faulty_events):
+        return _run_batch_fused(np, plan, collector, sim, candidates,
+                                sample, count_faulty_events)
+
     return SimKernel(
         name="numpy",
         requested=requested,
@@ -943,5 +1175,6 @@ def build(compiled: CompiledCircuit, requested: str, fns, collector):
         make_injection=make_injection,
         eval_injection=eval_injection,
         run_group=run_group,
+        run_batch=run_batch,
         group_width=WIDE_GROUP_CAP,
     )
