@@ -9,6 +9,8 @@ Subcommands:
 * ``synth`` — emit a synthetic profile-matched circuit as ``.bench``;
 * ``info`` — print circuit statistics and fault-list size;
 * ``serve`` — run the persistent ATPG job service (docs/SERVICE.md);
+* ``campaign-worker`` — process leased cells of a distributed campaign
+  journal (docs/ROBUSTNESS.md §6);
 * ``experiments`` — forwards to :mod:`repro.harness.experiments`.
 
 Test-vector files are plain text: one vector per line, characters
@@ -248,6 +250,22 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign_worker(args: argparse.Namespace) -> int:
+    """``gatest campaign-worker``: process distributed campaign leases."""
+    from .harness.distributed import campaign_worker_main
+
+    try:
+        return campaign_worker_main(
+            args.journal,
+            args.host,
+            poll=args.poll,
+            max_idle=args.max_idle,
+            once=args.once,
+        )
+    except (CheckpointError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """``gatest serve``: run the ATPG job service (docs/SERVICE.md)."""
     from .service import serve
@@ -355,6 +373,29 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--seed", type=int, default=0)
     info.add_argument("--scale", type=float, default=1.0)
     info.set_defaults(func=cmd_info)
+
+    worker = sub.add_parser(
+        "campaign-worker",
+        help="process leased cells of a distributed campaign journal "
+             "(start one per host named in experiments --workers-from; "
+             "see docs/ROBUSTNESS.md)",
+    )
+    worker.add_argument("--journal", required=True, metavar="J.jsonl",
+                        help="the shared campaign journal (the coordinator "
+                             "creates it; this worker appends results)")
+    worker.add_argument("--host", required=True, metavar="NAME",
+                        help="this worker's host name — it claims exactly "
+                             "the leases addressed to NAME")
+    worker.add_argument("--poll", type=float, default=0.1, metavar="S",
+                        help="seconds between journal polls (default 0.1)")
+    worker.add_argument("--max-idle", type=float, default=60.0, metavar="S",
+                        help="exit 0 after S seconds with nothing claimable "
+                             "(default 60; also bounds the wait for the "
+                             "journal to appear)")
+    worker.add_argument("--once", action="store_true",
+                        help="exit as soon as one scan finds nothing "
+                             "claimable instead of idling")
+    worker.set_defaults(func=cmd_campaign_worker)
 
     serve = sub.add_parser(
         "serve", help="run the persistent ATPG job service (docs/SERVICE.md)"

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -136,10 +137,12 @@ def load_checkpoint(
         raise CheckpointError(
             f"unsupported checkpoint format {payload.get('format')!r}"
         )
-    if payload["fingerprint"] != circuit_fingerprint(compiled.circuit):
+    found = circuit_fingerprint(compiled.circuit)
+    if payload["fingerprint"] != found:
         raise CheckpointError(
             f"checkpoint was taken on circuit {payload['circuit']!r} with a "
-            "different structure; refusing to restore"
+            f"different structure (fingerprint {payload['fingerprint'][:12]}…, "
+            f"this circuit fingerprints to {found[:12]}…); refusing to restore"
         )
     faults = [Fault(n, p, s) for n, p, s in payload["faults"]]
     simulator = FaultSimulator(
@@ -334,29 +337,83 @@ def save_campaign_journal(path: Union[str, Path], records: Sequence[dict]) -> No
     atomic_write_text(path, "\n".join(lines) + "\n")
 
 
-def load_campaign_journal(path: Union[str, Path]) -> List[dict]:
+def append_journal_record(path: Union[str, Path], record: dict) -> dict:
+    """Append one sealed record to a multi-writer campaign journal.
+
+    The distributed campaign backend has several processes — the
+    coordinator plus any number of ``gatest campaign-worker`` hosts —
+    writing the *same* journal, so the whole-file atomic rewrite of
+    :func:`save_campaign_journal` would lose concurrent appends.  This
+    path instead opens with ``O_APPEND``, takes an exclusive
+    ``fcntl.flock`` for the write, emits the record as exactly one
+    ``\\n``-terminated line, and fsyncs before releasing — concurrent
+    appenders serialize, and a crash mid-append can tear at most the
+    final line (which :func:`load_campaign_journal` can skip when asked
+    with ``skip_torn_tail=True``).
+
+    Returns the sealed record as written.
+    """
+    if record.get("sha") != _line_hash(record):
+        record = seal_journal_record(record)
+    line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX
+        fcntl = None
+    with open(path, "a", encoding="utf-8") as handle:
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        finally:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+    return record
+
+
+def load_campaign_journal(
+    path: Union[str, Path], *, skip_torn_tail: bool = False
+) -> List[dict]:
     """Read and integrity-check a campaign journal.
 
     Returns the sealed records (header first).  Refuses — with a
     :class:`CheckpointError` naming the offending line — on unreadable
     files, non-JSON or unsealed lines, per-line hash failures, a
     missing or malformed header, and unknown schema versions.
+
+    ``skip_torn_tail=True`` relaxes exactly one case: a *final* line
+    that is torn (invalid JSON or a failed seal) is dropped instead of
+    refused.  Multi-writer journals (the distributed backend) append
+    under ``O_APPEND`` + flock, so a SIGKILL mid-append can leave only
+    a torn tail — every complete line before it is still trustworthy.
+    Corruption anywhere *but* the final line is refused regardless: that
+    is bit-rot or tampering, not a crash artifact.
     """
     try:
         text = Path(path).read_text()
     except OSError as exc:
         raise CheckpointError(f"cannot read campaign journal {path}: {exc}") from exc
+    lines = [
+        (lineno, line)
+        for lineno, line in enumerate(text.splitlines(), 1)
+        if line.strip()
+    ]
     records: List[dict] = []
-    for lineno, line in enumerate(text.splitlines(), 1):
-        if not line.strip():
-            continue
+    for index, (lineno, line) in enumerate(lines):
+        is_tail = index == len(lines) - 1
         try:
             record = json.loads(line)
-        except json.JSONDecodeError as exc:
+            check_journal_record(record, lineno, path)
+        except (json.JSONDecodeError, CheckpointError) as exc:
+            if skip_torn_tail and is_tail:
+                break
+            if isinstance(exc, CheckpointError):
+                raise
             raise CheckpointError(
                 f"campaign journal {path}:{lineno}: not valid JSON ({exc})"
             ) from exc
-        check_journal_record(record, lineno, path)
         records.append(record)
     if not records:
         raise CheckpointError(f"campaign journal {path} is empty")

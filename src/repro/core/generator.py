@@ -449,16 +449,23 @@ class GaTestGenerator:
     def _restore_run(self, payload: dict) -> Tuple[PhaseTracker, str, Optional[dict]]:
         """Overwrite this (freshly constructed) generator's state from a
         run checkpoint; returns the rebuilt tracker and resume stage."""
-        if payload["fingerprint"] != circuit_fingerprint(self.circuit):
+        found = circuit_fingerprint(self.circuit)
+        if payload["fingerprint"] != found:
             raise CheckpointError(
                 f"checkpoint was taken on circuit {payload['circuit']!r} "
-                "with a different structure; refusing to resume"
+                f"with a different structure (checkpoint fingerprint "
+                f"{payload['fingerprint'][:12]}…, this circuit fingerprints "
+                f"to {found[:12]}…); refusing to resume"
             )
-        if payload["config_digest"] != self.config.digest():
+        digest = self.config.digest()
+        if payload["config_digest"] != digest:
             raise CheckpointError(
-                "checkpoint was taken under a different result-affecting "
-                "configuration; refusing to resume (execution-only knobs "
-                "like eval_jobs may differ, the rest must match)"
+                f"checkpoint was taken under a different result-affecting "
+                f"configuration (checkpoint config digest "
+                f"{payload['config_digest'][:12]}…, this run's config "
+                f"digests to {digest[:12]}…); refusing to resume "
+                "(execution-only knobs like eval_jobs may differ, the rest "
+                "must match)"
             )
         restore_sim_run_state(self.fsim, payload["sim"])
         self.test_sequence = [list(v) for v in payload["test_sequence"]]

@@ -7,27 +7,40 @@ from .campaign import (
     get_active_campaign,
     set_active_campaign,
 )
+from .distributed import (
+    DistributedCoordinator,
+    campaign_worker_main,
+    config_from_json,
+    config_to_json,
+)
 from .runner import (
     AggregateResult,
     SeedFailure,
     compiled_circuit_for,
+    get_distributed_backend,
     run_gatest,
     run_matrix,
     set_default_eval_jobs,
     set_default_seed_jobs,
+    set_distributed_backend,
 )
 from .tables import TextTable, fmt_mean_std, fmt_time, mean_std
 
 __all__ = [
     "AggregateResult",
     "CampaignJournal",
+    "DistributedCoordinator",
     "SeedFailure",
     "TextTable",
     "campaign_scope",
+    "campaign_worker_main",
     "compiled_circuit_for",
+    "config_from_json",
+    "config_to_json",
     "fmt_mean_std",
     "fmt_time",
     "get_active_campaign",
+    "get_distributed_backend",
     "mean_std",
     "paper_data",
     "run_gatest",
@@ -35,4 +48,5 @@ __all__ = [
     "set_active_campaign",
     "set_default_eval_jobs",
     "set_default_seed_jobs",
+    "set_distributed_backend",
 ]

@@ -26,13 +26,26 @@ The journal is attached to the harness with :func:`campaign_scope`
 journal per seed.  ``python -m repro.harness.experiments --journal J
 [--resume]`` wires this up from the command line.
 
+Distributed campaigns (:mod:`repro.harness.distributed`, ``--workers-from``)
+reuse this journal as their only coordination channel: ``append_mode``
+switches writes from whole-file atomic rewrites to flocked single-line
+appends (a SIGKILL tears at most the final line, which loaders skip),
+``campaign-lease`` / ``campaign-close`` records drive the worker
+protocol, and duplicate cell seals — a stalled worker racing its
+re-leased peer — are arbitrated **first-sealed-ok-wins in file order**,
+so every reader derives the same winner from the same bytes
+(docs/ROBUSTNESS.md §6).
+
 Counters (see docs/TELEMETRY.md): ``campaign.cells.completed`` /
-``campaign.cells.skipped`` / ``campaign.cells.failed`` and
-``campaign.resumed``.
+``campaign.cells.skipped`` / ``campaign.cells.failed`` /
+``campaign.cells.duplicate``, ``campaign.resumed`` and
+``campaign.lease.granted`` (the reap-side ``campaign.lease.*``
+counters live in the coordinator).
 """
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -40,6 +53,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from ..core.checkpoint import (
     CAMPAIGN_FORMAT_VERSION,
     CheckpointError,
+    append_journal_record,
     load_campaign_journal,
     save_campaign_journal,
     seal_journal_record,
@@ -156,21 +170,79 @@ class CampaignJournal:
         records: List[dict],
         resumed: bool,
         collector=None,
+        append_mode: bool = False,
     ) -> None:
         self.path = Path(path)
         self.header = header
         self.resumed = resumed
+        self.append_mode = bool(append_mode)
         self.collector = collector if collector is not None else get_collector()
-        self._records = records
-        self._cells: Dict[Tuple, dict] = {}
         self._bind_count = 0
-        for record in records:
-            if record.get("kind") == "campaign-cell":
+        self._duplicates = 0
+        self._lease_seq = 0
+        self._records: List[dict] = []
+        self._cells: Dict[Tuple, dict] = {}
+        self._leases: Dict[Tuple, dict] = {}
+        self.closed = False
+        self._ingest(records)
+
+    def _ingest(self, records: List[dict]) -> None:
+        """(Re)build the cell/lease views from the full record list.
+
+        Duplicate cell records — possible only in append mode, where a
+        host stalled past its lease TTL can seal a late result after a
+        re-leased peer already sealed one — are arbitrated
+        first-sealed-ok-wins: the earliest ``ok`` record in file order
+        is the cell's result, later duplicates are ignored (counted as
+        ``campaign.cells.duplicate``), and a ``failed`` record is
+        superseded by any later ``ok`` (a re-lease healing the cell).
+        Leases keep only the latest grant per cell (highest ``seq``).
+        """
+        duplicates_before = self._duplicates
+        self._records = list(records)
+        self._cells = {}
+        self._leases = {}
+        self._cell_pos = {}
+        self._lease_pos = {}
+        self._duplicates = 0
+        self.closed = False
+        for position, record in enumerate(records):
+            kind = record.get("kind")
+            if kind == "campaign-cell":
+                self._absorb_cell(record, position)
+            elif kind == "campaign-lease":
                 key = _cell_key(
                     record["circuit"], record["label"],
                     record["seed"], record["scale"],
                 )
-                self._cells[key] = record
+                seq = int(record.get("seq", 0))
+                current = self._leases.get(key)
+                if current is None or int(current.get("seq", 0)) <= seq:
+                    self._leases[key] = record
+                    self._lease_pos[key] = position
+                self._lease_seq = max(self._lease_seq, seq)
+            elif kind == "campaign-close":
+                self.closed = True
+        new_duplicates = self._duplicates - duplicates_before
+        if new_duplicates > 0:
+            self.collector.inc("campaign.cells.duplicate", new_duplicates)
+
+    def _absorb_cell(self, record: dict, position: int) -> bool:
+        """First-sealed-ok-wins arbitration for one cell record.
+
+        Returns whether ``record`` became the cell's effective record.
+        """
+        key = _cell_key(
+            record["circuit"], record["label"],
+            record["seed"], record["scale"],
+        )
+        previous = self._cells.get(key)
+        if previous is not None and previous.get("status") == "ok":
+            self._duplicates += 1
+            return False
+        self._cells[key] = record
+        self._cell_pos[key] = position
+        return True
 
     # -- construction ---------------------------------------------------
 
@@ -184,6 +256,7 @@ class CampaignJournal:
         seeds: Sequence[int],
         resume: bool = False,
         collector=None,
+        append_mode: bool = False,
     ) -> "CampaignJournal":
         """Open a campaign journal at ``path``.
 
@@ -193,6 +266,13 @@ class CampaignJournal:
         matches ``table`` / ``scale`` / ``seeds`` exactly; anything
         else — missing file, corrupt line, unknown schema, different
         campaign identity — raises :class:`CheckpointError`.
+
+        ``append_mode=True`` switches every subsequent write from the
+        whole-file atomic rewrite to flocked single-line appends — the
+        multi-writer discipline of the distributed backend, where the
+        coordinator and the campaign workers share this journal.  A
+        resume in append mode tolerates a torn final line (the tail a
+        SIGKILLed appender can leave).
         """
         header = {
             "kind": "campaign-header",
@@ -202,7 +282,7 @@ class CampaignJournal:
             "seeds": [int(s) for s in seeds],
         }
         if resume:
-            records = load_campaign_journal(path)
+            records = load_campaign_journal(path, skip_torn_tail=append_mode)
             found = records[0]
             for field in ("table", "scale", "seeds"):
                 if found.get(field) != header[field]:
@@ -213,17 +293,54 @@ class CampaignJournal:
                         "or rerun with the original parameters)"
                     )
             journal = cls(path, found, records, resumed=True,
-                          collector=collector)
+                          collector=collector, append_mode=append_mode)
             journal.collector.inc("campaign.resumed")
             return journal
         sealed = seal_journal_record(header)
         journal = cls(path, sealed, [sealed], resumed=False,
-                      collector=collector)
-        journal._flush()
+                      collector=collector, append_mode=append_mode)
+        save_campaign_journal(journal.path, journal._records)
         return journal
 
+    @classmethod
+    def open(
+        cls, path: Union[str, Path], *, collector=None
+    ) -> "CampaignJournal":
+        """Attach to an existing journal as a peer writer (a worker).
+
+        Campaign workers take no identity arguments — the header on
+        disk *is* the campaign's identity — and always write in append
+        mode.  The journal must exist and pass integrity checks (a torn
+        final line is tolerated, anything else is refused).
+        """
+        records = load_campaign_journal(path, skip_torn_tail=True)
+        return cls(path, records[0], records, resumed=True,
+                   collector=collector, append_mode=True)
+
     def _flush(self) -> None:
+        if self.append_mode:
+            raise RuntimeError(
+                "whole-file rewrite in append mode would lose concurrent "
+                "peers' records"
+            )
         save_campaign_journal(self.path, self._records)
+
+    def _append(self, record: dict) -> dict:
+        sealed = append_journal_record(self.path, record)
+        self._records.append(sealed)
+        return sealed
+
+    def refresh(self) -> None:
+        """Re-read the journal from disk (append mode only).
+
+        Picks up records sealed by peer writers since the last load —
+        the coordinator's poll step and the workers' claim step both
+        live on this.  A torn final line (a peer SIGKILLed mid-append)
+        is skipped, not refused.
+        """
+        if not self.append_mode:
+            raise RuntimeError("refresh is only meaningful in append mode")
+        self._ingest(load_campaign_journal(self.path, skip_torn_tail=True))
 
     # -- identity bindings ---------------------------------------------
 
@@ -257,8 +374,11 @@ class CampaignJournal:
                             "must not change across a resume"
                         )
                 return
-        self._records.append(seal_journal_record(binding))
-        self._flush()
+        if self.append_mode:
+            self._append(binding)
+        else:
+            self._records.append(seal_journal_record(binding))
+            self._flush()
 
     # -- cells ----------------------------------------------------------
 
@@ -301,12 +421,20 @@ class CampaignJournal:
         result: Optional[dict] = None,
         error: Optional[str] = None,
         attempts: int = 1,
+        host: Optional[str] = None,
+        trace: Optional[List[dict]] = None,
     ) -> None:
         """Journal one executed cell (completed or failed) atomically.
 
         Exactly one of ``result`` (completed) / ``error`` (failed) must
-        be given.  A re-executed cell (a failed one retried on resume)
-        replaces its previous record in place.
+        be given.  In rewrite mode a re-executed cell (a failed one
+        retried on resume) replaces its previous record in place; in
+        append mode the record is always appended and duplicate
+        arbitration (first-sealed-ok-wins) decides which record is the
+        cell's result.  ``host`` stamps the sealing host's name and
+        ``trace`` ships the executing worker's telemetry records along
+        with the result (the coordinator merges them under
+        ``host.<name>`` scopes).
         """
         if (result is None) == (error is None):
             raise ValueError("record_cell takes exactly one of result/error")
@@ -319,6 +447,10 @@ class CampaignJournal:
             "config_digest": digest,
             "status": "ok" if result is not None else "failed",
         }
+        if host is not None:
+            record["host"] = str(host)
+        if trace is not None:
+            record["trace"] = trace
         if result is not None:
             record["result"] = result
             self.collector.inc("campaign.cells.completed")
@@ -328,6 +460,11 @@ class CampaignJournal:
             self.collector.inc("campaign.cells.failed")
         sealed = seal_journal_record(record)
         key = _cell_key(circuit, label, seed, scale)
+        if self.append_mode:
+            sealed = self._append(sealed)
+            if not self._absorb_cell(sealed, len(self._records) - 1):
+                self.collector.inc("campaign.cells.duplicate")
+            return
         previous = self._cells.get(key)
         if previous is not None:
             self._records[self._records.index(previous)] = sealed
@@ -335,6 +472,114 @@ class CampaignJournal:
             self._records.append(sealed)
         self._cells[key] = sealed
         self._flush()
+
+    # -- leases (distributed campaigns; append mode only) ----------------
+
+    def grant_lease(
+        self,
+        circuit: str,
+        label: str,
+        seed: int,
+        scale: float,
+        digest: str,
+        *,
+        host: str,
+        ttl: float,
+        config: Optional[dict] = None,
+        kernel_artifact: Optional[List[str]] = None,
+        collect: bool = False,
+    ) -> dict:
+        """Seal a TTL-stamped lease granting one cell to ``host``.
+
+        ``config`` carries the full execution-resolved
+        :class:`~repro.core.config.TestGenConfig` rendering (including
+        execution-only knobs like ``eval_jobs`` and the resolved
+        ``sim_kernel``) so the worker reproduces the coordinator's
+        execution environment exactly; ``kernel_artifact`` optionally
+        ships a compiled C-kernel ``[digest, path]`` the same way seed
+        pools do.  Leases are journal-global monotonic (``seq``); a
+        re-lease of the same cell supersedes the previous lease by
+        carrying a higher ``seq``.  Counts ``campaign.lease.granted``.
+        """
+        if not self.append_mode:
+            raise RuntimeError("leases require an append-mode journal")
+        self._lease_seq += 1
+        record = {
+            "kind": "campaign-lease",
+            "seq": self._lease_seq,
+            "circuit": str(circuit),
+            "label": str(label),
+            "seed": int(seed),
+            "scale": float(scale),
+            "config_digest": digest,
+            "host": str(host),
+            "ttl": float(ttl),
+            "expires_at": time.time() + float(ttl),
+            "config": config,
+            "kernel_artifact": kernel_artifact,
+            "collect": bool(collect),
+        }
+        sealed = self._append(record)
+        key = _cell_key(circuit, label, seed, scale)
+        self._leases[key] = sealed
+        self._lease_pos[key] = len(self._records) - 1
+        self.collector.inc("campaign.lease.granted")
+        return sealed
+
+    def lease_for(
+        self, circuit: str, label: str, seed: int, scale: float
+    ) -> Optional[dict]:
+        """The latest lease for one cell (highest ``seq``), or ``None``."""
+        return self._leases.get(_cell_key(circuit, label, seed, scale))
+
+    def leases(self) -> List[dict]:
+        """The latest lease per cell, in arbitrary order."""
+        return list(self._leases.values())
+
+    def result_for(
+        self, circuit: str, label: str, seed: int, scale: float
+    ) -> Optional[dict]:
+        """The cell's effective record after arbitration, or ``None``.
+
+        Unlike :meth:`lookup` this returns failed records too (the
+        coordinator needs to distinguish "failed on the worker" from
+        "no result yet") and does not touch counters or digests.
+        """
+        return self._cells.get(_cell_key(circuit, label, seed, scale))
+
+    def pending_result(
+        self, circuit: str, label: str, seed: int, scale: float
+    ) -> Optional[dict]:
+        """The cell's outcome *for the current lease epoch*, or ``None``.
+
+        Like :meth:`result_for`, except a failed record that was sealed
+        *before* the cell's latest lease is treated as superseded (the
+        re-lease exists precisely to retry it) and yields ``None`` —
+        both the coordinator's accept loop and the workers' claim check
+        use this, so a resumed campaign re-attempts stale failures
+        while fresh ones stay terminal.  ``ok`` records always win.
+        """
+        key = _cell_key(circuit, label, seed, scale)
+        record = self._cells.get(key)
+        if record is None:
+            return None
+        if record.get("status") == "ok":
+            return record
+        lease_pos = self._lease_pos.get(key)
+        if lease_pos is not None and lease_pos > self._cell_pos.get(key, -1):
+            return None
+        return record
+
+    def record_close(self) -> None:
+        """Seal the campaign-close marker (coordinator, append mode).
+
+        Workers exit their poll loop when a refresh shows the campaign
+        closed; a journal with a close marker grants no further leases.
+        """
+        if not self.append_mode:
+            raise RuntimeError("record_close requires an append-mode journal")
+        self._append({"kind": "campaign-close"})
+        self.closed = True
 
     # -- inspection ------------------------------------------------------
 

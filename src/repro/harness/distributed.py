@@ -1,0 +1,507 @@
+"""Lease-based multi-host campaign execution over the sealed journal.
+
+The sealed JSONL campaign journal (:mod:`repro.harness.campaign`) is
+already an append-only, integrity-checked ledger; this module promotes
+it to a *coordination substrate* for multiple hosts:
+
+* The **coordinator** (:class:`DistributedCoordinator`, wired in by
+  ``experiments --workers-from HOSTS``) binds the matrix exactly as a
+  single-host campaign would, then — instead of executing cells — seals
+  TTL-stamped **lease records** granting each (circuit, label, seed)
+  cell to a worker host, and polls the journal for sealed results.
+* **Workers** (``gatest campaign-worker --journal J --host NAME``)
+  attach to the same journal in append mode, claim leases addressed to
+  their host name, execute each cell through the PR 5 per-seed
+  self-healing pool (same chaos hooks, same retry policy, same
+  telemetry shipback), and seal the result back into the journal.
+* Expired leases (host crash, hang, partition — anything that keeps a
+  result from appearing before ``expires_at``) are **reaped**: the
+  coordinator re-leases the cell to the next host, bounded by a
+  :class:`~repro.parallel.resilience.RetryPolicy` read from
+  ``REPRO_LEASE_TTL`` / ``REPRO_LEASE_RETRIES``.  Exhausting the
+  re-lease budget triggers **sticky degradation**: the coordinator runs
+  that cell — and every cell still outstanding — locally in-process, so
+  a campaign always completes even with zero live workers.
+
+Because every cell's result is a pure function of (circuit, config,
+seed), *who* executes a cell never changes *what* it produces: a matrix
+run on N hosts, or SIGKILLed anywhere and resumed, emits byte-identical
+tables to the serial run.  Duplicate results (a host that stalled past
+its TTL sealing late, racing the re-leased peer) are arbitrated
+first-sealed-ok-wins by the journal.
+
+Deterministic host-level chaos (``REPRO_CHAOS=lease-stall:<p>`` /
+``worker-vanish:<p>``) injects exactly these failures in tests: a
+stalled worker sleeps past its lease TTL and then seals anyway
+(exercising reap + duplicate arbitration), a vanished worker dies
+mid-cell (exercising reap + re-lease).
+
+Counters (docs/TELEMETRY.md): ``campaign.lease.granted`` / ``.expired``
+/ ``.stolen`` / ``.healed`` / ``.degraded``; worker telemetry merges
+under composed ``host.<name>.worker.<seed>`` scopes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import fields
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.checkpoint import CheckpointError
+from ..core.config import TestGenConfig
+from ..core.results import TestGenResult
+from ..parallel.resilience import (
+    DEFAULT_LEASE_TTL,
+    LEASE_RETRIES_ENV,
+    LEASE_TTL_ENV,
+    ChaosConfig,
+    RetryPolicy,
+)
+from ..sim.codegen import kernel_for, resolve_kernel_name
+from ..telemetry.collector import NullCollector, TelemetryCollector
+from .campaign import CampaignJournal, result_from_json, result_to_json
+from .runner import (
+    SeedFailure,
+    _run_one_seed,
+    _run_seed_pool,
+    compiled_circuit_for,
+)
+
+
+# ----------------------------------------------------------------------
+# TestGenConfig <-> JSON (leases carry the full execution-resolved config)
+# ----------------------------------------------------------------------
+
+
+def config_to_json(config: TestGenConfig) -> dict:
+    """A JSON rendering of *every* config field, execution knobs included.
+
+    Unlike :meth:`TestGenConfig.digest` this keeps ``eval_jobs``,
+    ``eval_cache``, ``sim_kernel`` and the resilience knobs: a lease
+    must reproduce the coordinator's *execution environment* on the
+    worker host, not just the result-affecting identity.
+    """
+    data = {}
+    for f in fields(config):
+        value = getattr(config, f.name)
+        data[f.name] = list(value) if isinstance(value, tuple) else value
+    return data
+
+
+def config_from_json(data: dict) -> TestGenConfig:
+    """Rebuild a :class:`TestGenConfig` from :func:`config_to_json`."""
+    known = {f.name for f in fields(TestGenConfig)}
+    kwargs = {}
+    for name, value in data.items():
+        if name not in known:
+            raise CheckpointError(
+                f"lease config carries unknown field {name!r} "
+                "(journal written by an incompatible build?)"
+            )
+        kwargs[name] = tuple(value) if isinstance(value, list) else value
+    return TestGenConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+
+
+class DistributedCoordinator:
+    """Grants leases, reaps expiries, accepts sealed results.
+
+    Installed as ``run_gatest``'s distributed backend
+    (:func:`repro.harness.runner.set_distributed_backend`); the harness
+    calls :meth:`run_cells` once per (circuit, label) aggregate with
+    the seeds that still need execution.
+
+    ``policy.task_timeout`` is the lease TTL (``REPRO_LEASE_TTL``,
+    default :data:`~repro.parallel.resilience.DEFAULT_LEASE_TTL`);
+    ``policy.max_retries`` is the re-lease budget per cell
+    (``REPRO_LEASE_RETRIES``) before sticky local degradation.
+    """
+
+    def __init__(
+        self,
+        journal: CampaignJournal,
+        hosts: Sequence[str],
+        *,
+        poll: float = 0.05,
+        policy: Optional[RetryPolicy] = None,
+        collector=None,
+    ) -> None:
+        if not journal.append_mode:
+            raise ValueError(
+                "a distributed campaign needs an append-mode journal "
+                "(multi-writer); pass append_mode=True to CampaignJournal"
+            )
+        if not hosts:
+            raise ValueError("at least one worker host name is required")
+        self.journal = journal
+        self.hosts = [str(h) for h in hosts]
+        self.poll = poll
+        self.policy = policy if policy is not None else RetryPolicy.from_env(
+            timeout_env=LEASE_TTL_ENV,
+            retries_env=LEASE_RETRIES_ENV,
+            default_timeout=DEFAULT_LEASE_TTL,
+        )
+        self.collector = collector if collector is not None else journal.collector
+        self.degraded = False
+        self._next_host = 0
+
+    # -- lease bookkeeping ----------------------------------------------
+
+    def _pick_host(self) -> str:
+        host = self.hosts[self._next_host % len(self.hosts)]
+        self._next_host += 1
+        return host
+
+    def _ttl(self) -> float:
+        timeout = self.policy.task_timeout
+        return timeout if timeout is not None else DEFAULT_LEASE_TTL
+
+    # -- execution -------------------------------------------------------
+
+    def run_cells(
+        self,
+        circuit_name: str,
+        compiled,
+        config: TestGenConfig,
+        seeds: Sequence[int],
+        *,
+        scale: float,
+        label: str,
+        digest: str,
+    ) -> Tuple[Dict[int, TestGenResult], Dict[int, SeedFailure]]:
+        """Execute the given seeds' cells through worker hosts.
+
+        Returns ``(results, failures)`` keyed by seed, exactly like the
+        seed pool — but every cell is *already journaled* when this
+        returns (workers seal theirs, degraded local runs are sealed
+        here), so the caller must not journal them again.
+        """
+        collect = self.collector.enabled
+        worker_config = config
+        resolved = resolve_kernel_name(config.sim_kernel)
+        if resolved != config.sim_kernel:
+            from dataclasses import replace
+
+            worker_config = replace(config, sim_kernel=resolved)
+        kernel_artifact = self._kernel_payload(compiled, resolved)
+        config_json = config_to_json(worker_config)
+
+        #: per-seed lease state: expiry count + whether we ran it locally
+        expiries: Dict[int, int] = {seed: 0 for seed in seeds}
+        ran_locally: Dict[int, bool] = {seed: False for seed in seeds}
+        results: Dict[int, TestGenResult] = {}
+        failures: Dict[int, SeedFailure] = {}
+
+        outstanding = [int(s) for s in seeds]
+        if not self.degraded:
+            for seed in outstanding:
+                existing = self.journal.result_for(
+                    circuit_name, label, seed, scale
+                )
+                # Lease fresh cells and stale failures (a failed record
+                # older than this grant is superseded by it — the
+                # re-execution path of a resumed campaign).
+                if existing is None or existing.get("status") != "ok":
+                    self.journal.grant_lease(
+                        circuit_name, label, seed, scale, digest,
+                        host=self._pick_host(), ttl=self._ttl(),
+                        config=config_json, kernel_artifact=kernel_artifact,
+                        collect=collect,
+                    )
+
+        while outstanding:
+            self.journal.refresh()
+            now = time.time()
+            progressed = False
+            for seed in list(outstanding):
+                record = self.journal.pending_result(
+                    circuit_name, label, seed, scale
+                )
+                if record is not None:
+                    self._accept(
+                        seed, record, results, failures,
+                        expiries[seed], ran_locally[seed],
+                    )
+                    outstanding.remove(seed)
+                    progressed = True
+                    continue
+                if self.degraded:
+                    self._run_local(
+                        circuit_name, compiled, config, seed, scale,
+                        label, digest,
+                    )
+                    ran_locally[seed] = True
+                    progressed = True
+                    continue
+                lease = self.journal.lease_for(
+                    circuit_name, label, seed, scale
+                )
+                if lease is None or now < float(lease["expires_at"]):
+                    continue
+                # Reap: the lease expired with no sealed result.
+                expiries[seed] += 1
+                self.collector.inc("campaign.lease.expired")
+                if expiries[seed] > self.policy.max_retries:
+                    # Out of re-lease budget: degrade stickily — this
+                    # cell and every later one run locally in-process.
+                    self.degraded = True
+                    self.collector.inc("campaign.lease.degraded")
+                    self._run_local(
+                        circuit_name, compiled, config, seed, scale,
+                        label, digest,
+                    )
+                    ran_locally[seed] = True
+                    progressed = True
+                    continue
+                host = self._pick_host()
+                if host != lease.get("host"):
+                    self.collector.inc("campaign.lease.stolen")
+                self.journal.grant_lease(
+                    circuit_name, label, seed, scale, digest,
+                    host=host, ttl=self._ttl(), config=config_json,
+                    kernel_artifact=kernel_artifact, collect=collect,
+                )
+                progressed = True
+            if outstanding and not progressed:
+                time.sleep(self.poll)
+        return results, failures
+
+    def _kernel_payload(self, compiled, resolved: str) -> Optional[List[str]]:
+        """Build the C kernel once here and ship its artifact path.
+
+        Mirrors the evaluator's pool shipping: workers
+        ``preload_artifact`` the path and dlopen instead of recompiling
+        per host (they still fall back to their own cache/compile when
+        the path is unusable — e.g. hosts without a shared filesystem).
+        """
+        if resolved != "c":
+            return None
+        try:
+            kernel_for(compiled, resolved, self.collector)
+            from ..sim import ckernel
+
+            payload = ckernel.shipping_payload(compiled)
+        except Exception:
+            return None
+        return [payload[0], payload[1]] if payload is not None else None
+
+    def _accept(
+        self,
+        seed: int,
+        record: dict,
+        results: Dict[int, TestGenResult],
+        failures: Dict[int, SeedFailure],
+        expiry_count: int,
+        ran_locally: bool,
+    ) -> None:
+        """Fold one sealed cell record into the aggregate-shaped output."""
+        if record.get("status") == "ok":
+            results[seed] = result_from_json(record["result"])
+        else:
+            failures[seed] = SeedFailure(
+                seed=seed,
+                error=record.get("error", "unknown worker failure"),
+                attempts=int(record.get("attempts", 1)),
+            )
+        host = record.get("host")
+        if not ran_locally:
+            # Local runs already counted via the journal's own
+            # record_cell; worker-sealed cells count on the coordinator.
+            name = "campaign.cells.completed" if record.get("status") == "ok" \
+                else "campaign.cells.failed"
+            self.collector.inc(name)
+        trace = record.get("trace")
+        if trace and self.collector.enabled and host:
+            self.collector.merge_worker_trace(f"host.{host}", trace)
+        if expiry_count > 0:
+            self.collector.inc("campaign.lease.healed")
+
+    def _run_local(
+        self,
+        circuit_name: str,
+        compiled,
+        config: TestGenConfig,
+        seed: int,
+        scale: float,
+        label: str,
+        digest: str,
+    ) -> None:
+        """Degraded path: execute one cell in-process and seal it.
+
+        The sealed record is *not* returned directly — the main loop
+        re-reads the journal and accepts whatever record won
+        arbitration, so a stalled worker that sealed first still wins
+        (results are identical either way; the arbitration only decides
+        whose trace is attached).
+        """
+        try:
+            result = _run_one_seed(
+                compiled, config, seed,
+                self.collector if self.collector.enabled else None,
+            )
+        except Exception as exc:
+            detail = str(exc).strip() or type(exc).__name__
+            self.journal.record_cell(
+                circuit_name, label, seed, scale, digest,
+                error=f"{type(exc).__name__}: {detail}", attempts=1,
+                host="coordinator",
+            )
+            return
+        self.journal.record_cell(
+            circuit_name, label, seed, scale, digest,
+            result=result_to_json(result), host="coordinator",
+        )
+
+    def close(self) -> None:
+        """Seal the campaign-close marker; workers drain and exit."""
+        self.journal.record_close()
+
+
+# ----------------------------------------------------------------------
+# Worker
+# ----------------------------------------------------------------------
+
+
+def _next_claimable(
+    journal: CampaignJournal, host: str, now: float
+) -> Optional[dict]:
+    """The lowest-``seq`` live lease addressed to ``host``, or ``None``.
+
+    A lease is claimable iff it is the cell's *latest* lease, the cell
+    has no sealed result yet, and — checked here, at claim time — its
+    TTL has not already expired (an expired lease belongs to the
+    coordinator's reaper; executing it anyway would only produce a
+    duplicate for arbitration to discard).
+    """
+    candidates = [
+        lease for lease in journal.leases()
+        if lease.get("host") == host
+        and float(lease["expires_at"]) > now
+        and journal.pending_result(
+            lease["circuit"], lease["label"], lease["seed"], lease["scale"]
+        ) is None
+    ]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda lease: int(lease["seq"]))
+
+
+def _execute_lease(
+    journal: CampaignJournal,
+    lease: dict,
+    chaos: Optional[ChaosConfig],
+    host: str,
+) -> None:
+    """Run one leased cell through the per-seed pool and seal the result."""
+    circuit = lease["circuit"]
+    label = lease["label"]
+    seed = int(lease["seed"])
+    scale = float(lease["scale"])
+    digest = lease["config_digest"]
+    if chaos is not None:
+        action = chaos.decide_host(int(lease["seq"]))
+        if action == "worker-vanish":
+            os._exit(86)
+        elif action == "lease-stall":
+            # Sleep past the lease TTL, then proceed anyway: the
+            # coordinator reaps and re-leases meanwhile, and this
+            # worker's late seal becomes a duplicate for
+            # first-sealed-ok-wins arbitration.
+            time.sleep(max(0.0, float(lease["expires_at"]) - time.time()) + 0.2)
+    config = config_from_json(lease["config"])
+    artifact = lease.get("kernel_artifact")
+    shipped = None
+    if artifact:
+        # Register in this process (covers the pool's in-process
+        # degrade path) and ship into the seed's pool worker, which is
+        # a separate process with its own preload registry.
+        shipped = (str(artifact[0]), str(artifact[1]))
+        from ..sim import ckernel
+
+        ckernel.preload_artifact(*shipped)
+    compiled = compiled_circuit_for(circuit, scale)
+    collect = bool(lease.get("collect"))
+    cellcol = (
+        TelemetryCollector(source="repro.harness.campaign-worker")
+        if collect else NullCollector()
+    )
+    results, failures = _run_seed_pool(
+        compiled, config, [seed], 1, cellcol, kernel_artifact=shipped
+    )
+    trace = None
+    if seed in results:
+        result, records = results[seed]
+        if records is not None:
+            cellcol.merge_worker_trace(f"worker.{seed}", records)
+        if collect:
+            trace = cellcol.records()
+        journal.record_cell(
+            circuit, label, seed, scale, digest,
+            result=result_to_json(result), host=host, trace=trace,
+        )
+    else:
+        failure = failures[seed]
+        if collect:
+            trace = cellcol.records()
+        journal.record_cell(
+            circuit, label, seed, scale, digest,
+            error=failure.error, attempts=failure.attempts,
+            host=host, trace=trace,
+        )
+
+
+def campaign_worker_main(
+    journal_path: Union[str, Path],
+    host: str,
+    *,
+    poll: float = 0.1,
+    max_idle: Optional[float] = 60.0,
+    once: bool = False,
+) -> int:
+    """The ``gatest campaign-worker`` loop: claim, execute, seal, repeat.
+
+    Attaches to ``journal_path`` in append mode (waiting up to
+    ``max_idle`` seconds for the coordinator to create it), then polls:
+    claim the next live lease addressed to ``host``, execute it through
+    the PR 5 self-healing seed pool, seal the result back.  Exits 0
+    when the journal carries a campaign-close marker, when ``max_idle``
+    seconds pass with nothing claimable, or — with ``once`` — as soon
+    as one scan finds nothing claimable.
+
+    A malformed ``REPRO_CHAOS`` spec fails loudly *here*, before any
+    lease is touched, instead of deep inside a pool worker.
+    """
+    chaos = ChaosConfig.from_env()  # raises ValueError on a bad spec
+    path = Path(journal_path)
+    wait_budget = max_idle if max_idle is not None else 60.0
+    deadline = time.monotonic() + wait_budget
+    while not path.exists():
+        if time.monotonic() >= deadline:
+            raise CheckpointError(
+                f"campaign journal {path} did not appear within "
+                f"{wait_budget:.0f}s; is the coordinator running?"
+            )
+        time.sleep(poll)
+    journal = CampaignJournal.open(path, collector=NullCollector())
+    last_activity = time.monotonic()
+    while True:
+        journal.refresh()
+        if journal.closed:
+            return 0
+        lease = _next_claimable(journal, host, time.time())
+        if lease is not None:
+            _execute_lease(journal, lease, chaos, host)
+            last_activity = time.monotonic()
+            continue
+        if once:
+            return 0
+        if (max_idle is not None
+                and time.monotonic() - last_activity > max_idle):
+            return 0
+        time.sleep(poll)

@@ -467,6 +467,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="resume the --journal campaign: replay "
                              "completed cells bit-identically, re-run only "
                              "the rest")
+    parser.add_argument("--workers-from", default=None, metavar="HOSTS",
+                        help="distributed campaign: lease cells to the "
+                             "worker host names listed in this file (one "
+                             "per line; start a 'gatest campaign-worker' "
+                             "per name against the same --journal); "
+                             "expired leases are reaped and re-leased, "
+                             "then run locally (docs/ROBUSTNESS.md)")
+    parser.add_argument("--lease-ttl", type=float, default=None, metavar="S",
+                        help="seconds a worker may hold a leased cell "
+                             "before it is reaped (default: REPRO_LEASE_TTL "
+                             "or 300)")
     parser.add_argument("--trace", default=None, metavar="OUT.jsonl",
                         help="write the campaign's telemetry trace as JSONL")
     parser.add_argument("--metrics", action="store_true",
@@ -481,6 +492,20 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.resume and not args.journal:
         parser.error("--resume requires --journal")
+    if args.workers_from and not args.journal:
+        parser.error("--workers-from requires --journal (the journal is "
+                     "the coordination substrate)")
+    hosts: Optional[List[str]] = None
+    if args.workers_from:
+        try:
+            with open(args.workers_from, encoding="utf-8") as handle:
+                hosts = [line.strip() for line in handle
+                         if line.strip() and not line.startswith("#")]
+        except OSError as exc:
+            parser.error(f"cannot read --workers-from file: {exc}")
+        if not hosts:
+            parser.error(f"--workers-from file {args.workers_from!r} "
+                         "names no hosts")
     if args.eval_jobs is not None:
         from .runner import set_default_eval_jobs
 
@@ -507,10 +532,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                 journal = CampaignJournal.create(
                     args.journal, table=args.table, scale=args.scale,
                     seeds=seeds, resume=args.resume, collector=collector,
+                    append_mode=hosts is not None,
                 )
             except CheckpointError as exc:
                 raise SystemExit(f"error: {exc}")
             stack.enter_context(campaign_scope(journal))
+            if hosts is not None:
+                from ..parallel.resilience import (
+                    LEASE_RETRIES_ENV,
+                    LEASE_TTL_ENV,
+                    RetryPolicy,
+                )
+                from .distributed import DistributedCoordinator
+                from .runner import set_distributed_backend
+
+                policy = None
+                if args.lease_ttl is not None:
+                    policy = RetryPolicy.from_env(
+                        task_timeout=args.lease_ttl,
+                        timeout_env=LEASE_TTL_ENV,
+                        retries_env=LEASE_RETRIES_ENV,
+                    )
+                coordinator = DistributedCoordinator(
+                    journal, hosts, policy=policy, collector=collector,
+                )
+                set_distributed_backend(coordinator)
+                stack.callback(set_distributed_backend, None)
+                stack.callback(coordinator.close)
         try:
             for name in names:
                 circuits = args.circuits

@@ -122,6 +122,32 @@ _default_eval_jobs: Optional[int] = None
 #: ``repro.harness.experiments --jobs``.
 _default_seed_jobs: Optional[int] = None
 
+#: The distributed campaign backend (duck-typed; in practice a
+#: :class:`repro.harness.distributed.DistributedCoordinator`).  When set
+#: and a campaign journal is active, :func:`run_gatest` routes
+#: non-replayed cells through ``backend.run_cells`` instead of local
+#: pools.  Installed by ``experiments --workers-from``; kept as a
+#: registration seam so this module never imports ``distributed``.
+_distributed_backend = None
+
+
+def set_distributed_backend(backend):
+    """Install the distributed campaign backend; returns the previous.
+
+    ``backend`` must provide ``run_cells(circuit_name, compiled,
+    config, seeds, *, scale, label, digest) -> (results, failures)``
+    with every returned cell already journaled (``None`` uninstalls).
+    """
+    global _distributed_backend
+    previous = _distributed_backend
+    _distributed_backend = backend
+    return previous
+
+
+def get_distributed_backend():
+    """The installed distributed backend, or ``None`` (the default)."""
+    return _distributed_backend
+
 
 def set_default_eval_jobs(jobs: Optional[int]) -> Optional[int]:
     """Install the harness-wide ``eval_jobs`` default; returns the old one.
@@ -178,6 +204,7 @@ def _seed_worker(
     seed: int,
     task_seq: int,
     collect: bool,
+    kernel_artifact: Optional[Tuple[str, str]] = None,
 ) -> Tuple[TestGenResult, Optional[list]]:
     """Pool worker for one seed (module-level so it pickles).
 
@@ -188,7 +215,10 @@ def _seed_worker(
     seed draws a fresh decision.  When ``collect`` is set the worker
     records into its own :class:`TelemetryCollector` and ships the
     records back with the result for the parent to merge under a
-    ``worker.<seed>`` scope.
+    ``worker.<seed>`` scope.  ``kernel_artifact`` is a parent-shipped
+    compiled C kernel ``(digest, path)`` — registered before the run so
+    this process loads it instead of recompiling (same contract as
+    :func:`repro.parallel.worker.init_worker`).
     """
     chaos = ChaosConfig.from_env()
     if chaos is not None:
@@ -197,6 +227,10 @@ def _seed_worker(
             os._exit(75)
         elif action == "hang":
             time.sleep(chaos.hang_seconds)
+    if kernel_artifact is not None:
+        from ..sim import ckernel
+
+        ckernel.preload_artifact(*kernel_artifact)
     collector = TelemetryCollector(source="repro.harness.worker") if collect else None
     result = _run_one_seed(compiled, config, seed, collector)
     return result, (collector.records() if collect else None)
@@ -219,6 +253,7 @@ def _run_seed_pool(
     jobs: int,
     collector: NullCollector,
     policy: Optional[RetryPolicy] = None,
+    kernel_artifact: Optional[Tuple[str, str]] = None,
 ) -> Tuple[Dict[int, Tuple[TestGenResult, Optional[list]]], Dict[int, SeedFailure]]:
     """Fault-isolated, self-healing multi-seed fan-out.
 
@@ -236,6 +271,10 @@ def _run_seed_pool(
     """
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
+    # Validate the chaos spec eagerly, in the parent: a malformed
+    # REPRO_CHAOS raises one clear ValueError here instead of surfacing
+    # as a cryptic BrokenProcessPool from every worker at once.
+    ChaosConfig.from_env()
     if policy is None:
         policy = RetryPolicy.from_env(
             timeout_env=SEED_TIMEOUT_ENV,
@@ -278,7 +317,8 @@ def _run_seed_pool(
                 try:
                     pool = ProcessPoolExecutor(max_workers=1)
                     future = pool.submit(
-                        _seed_worker, compiled, config, seed, task_seq, collect
+                        _seed_worker, compiled, config, seed, task_seq,
+                        collect, kernel_artifact,
                     )
                 except OSError:
                     # No process support here at all: degrade stickily
@@ -328,6 +368,10 @@ def _run_seed_pool(
             _kill_seed_pool(pool)
 
     if in_process:
+        if kernel_artifact is not None:
+            from ..sim import ckernel
+
+            ckernel.preload_artifact(*kernel_artifact)
         for seed, _ in pending:
             attempts[seed] += 1
             results[seed] = (_run_one_seed(compiled, config, seed, collector), None)
@@ -412,10 +456,26 @@ def run_gatest(
 
     runs_by_seed: Dict[int, TestGenResult] = dict(replayed)
     failures: Dict[int, SeedFailure] = {}
+    backend = get_distributed_backend()
+    journaled_by_backend = False
     with collector.span(
         "harness.run_gatest", circuit=circuit_name, seeds=len(seeds), jobs=jobs
     ):
-        if jobs > 1 and len(to_run) > 1:
+        if (backend is not None and campaign is not None
+                and circuit is None and to_run):
+            # Distributed campaign: the backend leases the cells to
+            # worker hosts (degrading to local execution if they all
+            # fail) and every returned cell is already sealed in the
+            # journal — worker-side for remote cells, coordinator-side
+            # for degraded ones — so none may be journaled again here.
+            dist_results, failures = backend.run_cells(
+                circuit_name, compiled, config, to_run,
+                scale=scale, label=label, digest=digest,
+            )
+            runs_by_seed.update(dist_results)
+            replayed.update(dist_results)
+            journaled_by_backend = True
+        elif jobs > 1 and len(to_run) > 1:
             # Ship the *resolved* kernel name so workers pick the same
             # simulation backend as the parent would, even when it came
             # from REPRO_SIM_KERNEL and the worker environment differs.
@@ -450,7 +510,7 @@ def run_gatest(
         else:
             failure = failures[seed]
             agg.failed_seeds.append(failure)
-            if campaign is not None:
+            if campaign is not None and not journaled_by_backend:
                 campaign.record_cell(
                     circuit_name, label, seed, scale, digest,
                     error=failure.error, attempts=failure.attempts,

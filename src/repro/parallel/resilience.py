@@ -40,12 +40,24 @@ SEED_TIMEOUT_ENV = "REPRO_SEED_TIMEOUT"
 #: Seed-pool respawn retry count override (unset: ``REPRO_EVAL_RETRIES``
 #: semantics do not apply here; the default is :data:`DEFAULT_MAX_RETRIES`).
 SEED_RETRIES_ENV = "REPRO_SEED_RETRIES"
+#: Lease TTL override for the distributed campaign coordinator, in
+#: seconds (how long a host may sit on a leased cell before the
+#: coordinator reaps it; <= 0 disables, which is almost never what a
+#: multi-host campaign wants).
+LEASE_TTL_ENV = "REPRO_LEASE_TTL"
+#: Re-lease retry budget per cell before the coordinator degrades to
+#: local in-process execution.
+LEASE_RETRIES_ENV = "REPRO_LEASE_RETRIES"
 
 #: Default per-shard-task timeout.  Shard tasks are sub-second in normal
 #: operation; minutes of silence means a hung or thrashing worker.
 DEFAULT_TASK_TIMEOUT = 300.0
 #: Default pool respawns per failed scoring pass before degrading.
 DEFAULT_MAX_RETRIES = 2
+#: Default lease TTL for distributed campaign cells.  One cell is one
+#: whole GA run, so the bound is generous; operators running full-scale
+#: tables should raise it via ``REPRO_LEASE_TTL``.
+DEFAULT_LEASE_TTL = 300.0
 
 
 @dataclass(frozen=True)
@@ -107,32 +119,62 @@ class RetryPolicy:
         return cls(max_retries=max_retries, task_timeout=task_timeout)
 
 
+#: Chaos spec keys that are probabilities, mapped to their field names.
+#: ``lease-stall`` / ``worker-vanish`` are *host-level* modes consumed
+#: by the distributed campaign worker (``gatest campaign-worker``); the
+#: process-level ``crash`` / ``hang`` modes fire inside pool workers.
+_CHAOS_PROB_KEYS = {
+    "crash": "crash",
+    "hang": "hang",
+    "lease-stall": "lease_stall",
+    "lease_stall": "lease_stall",
+    "worker-vanish": "worker_vanish",
+    "worker_vanish": "worker_vanish",
+}
+_CHAOS_KNOWN = "crash, hang, lease-stall, worker-vanish, seed, hang_seconds"
+
+
 @dataclass(frozen=True)
 class ChaosConfig:
-    """Deterministic worker-failure injection (test hook).
+    """Deterministic worker- and host-failure injection (test hook).
 
-    ``crash`` / ``hang`` are per-task probabilities; ``seed`` makes the
-    injected failure sequence reproducible.  ``hang_seconds`` is how
-    long a stalled worker sleeps — far longer than any sane task
-    timeout, so a hang always surfaces as a timeout, never as a slow
-    success.
+    ``crash`` / ``hang`` are per-task probabilities for *pool worker*
+    faults; ``lease_stall`` / ``worker_vanish`` are per-lease
+    probabilities for *host-level* faults in the distributed campaign
+    backend (a campaign worker that sleeps past its lease TTL before
+    sealing its result, and one that dies outright mid-cell).  ``seed``
+    makes the injected failure sequence reproducible.  ``hang_seconds``
+    is how long a stalled pool worker sleeps — far longer than any sane
+    task timeout, so a hang always surfaces as a timeout, never as a
+    slow success.
     """
 
     crash: float = 0.0
     hang: float = 0.0
     seed: int = 0
     hang_seconds: float = 600.0
+    lease_stall: float = 0.0
+    worker_vanish: float = 0.0
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.crash <= 1.0 or not 0.0 <= self.hang <= 1.0:
-            raise ValueError("chaos probabilities must be in [0, 1]")
+        for name in ("crash", "hang", "lease_stall", "worker_vanish"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"chaos probability {name}={value!r} must be in [0, 1]"
+                )
         if self.crash + self.hang > 1.0:
             raise ValueError("crash + hang probabilities must not exceed 1")
+        if self.lease_stall + self.worker_vanish > 1.0:
+            raise ValueError(
+                "lease-stall + worker-vanish probabilities must not exceed 1"
+            )
 
     @property
     def enabled(self) -> bool:
         """Whether any failure can actually be injected."""
-        return self.crash > 0.0 or self.hang > 0.0
+        return (self.crash > 0.0 or self.hang > 0.0
+                or self.lease_stall > 0.0 or self.worker_vanish > 0.0)
 
     def decide(self, task_seq: int) -> Optional[str]:
         """The injected failure for task ``task_seq``: ``"crash"``,
@@ -150,14 +192,35 @@ class ChaosConfig:
             return "hang"
         return None
 
+    def decide_host(self, lease_seq: int) -> Optional[str]:
+        """The injected *host-level* failure for lease ``lease_seq``:
+        ``"lease-stall"``, ``"worker-vanish"`` or ``None``.
+
+        Same determinism contract as :meth:`decide`, drawn from an
+        independent stream (the coordinator numbers leases with a
+        journal-global monotonic ``seq``, so every grant — original or
+        re-lease — draws exactly once, identically on every replay).
+        """
+        draw = random.Random(
+            (self.seed + 7_777_777) * 1_000_003 + lease_seq
+        ).random()
+        if draw < self.lease_stall:
+            return "lease-stall"
+        if draw < self.lease_stall + self.worker_vanish:
+            return "worker-vanish"
+        return None
+
     @classmethod
     def parse(cls, spec: str) -> "ChaosConfig":
         """Parse a ``crash:<p>,hang:<p>,seed:<n>`` spec string.
 
-        Keys may appear in any order and any may be omitted;
+        Keys may appear in any order and any may be omitted; host-level
+        modes spell as ``lease-stall:<p>`` / ``worker-vanish:<p>`` and
         ``hang_seconds:<s>`` is accepted as an extra knob.  Raises
-        ``ValueError`` on unknown keys or malformed values — a chaos
-        spec is an explicit test instruction and must not fail silently.
+        ``ValueError`` *naming the offending token* on unknown modes and
+        malformed or out-of-range values — a chaos spec is an explicit
+        test instruction and must never fail silently or surface as an
+        unintelligible crash deep inside a worker.
         """
         fields = {}
         for part in spec.split(","):
@@ -166,23 +229,63 @@ class ChaosConfig:
                 continue
             key, sep, value = part.partition(":")
             if not sep:
-                raise ValueError(f"chaos spec entry {part!r} is not key:value")
+                raise ValueError(
+                    f"bad chaos spec {spec!r}: entry {part!r} is not "
+                    "key:value"
+                )
             key = key.strip()
             value = value.strip()
-            try:
-                if key in ("crash", "hang", "hang_seconds"):
+            if key in _CHAOS_PROB_KEYS:
+                field = _CHAOS_PROB_KEYS[key]
+                try:
+                    probability = float(value)
+                except ValueError:
+                    raise ValueError(
+                        f"bad chaos spec {spec!r}: {value!r} in {part!r} "
+                        "is not a number"
+                    ) from None
+                if not 0.0 <= probability <= 1.0:
+                    raise ValueError(
+                        f"bad chaos spec {spec!r}: probability {value!r} "
+                        f"in {part!r} must be in [0, 1]"
+                    )
+                fields[field] = probability
+            elif key == "hang_seconds":
+                try:
                     fields[key] = float(value)
-                elif key == "seed":
+                except ValueError:
+                    raise ValueError(
+                        f"bad chaos spec {spec!r}: {value!r} in {part!r} "
+                        "is not a number"
+                    ) from None
+            elif key == "seed":
+                try:
                     fields[key] = int(value)
-                else:
-                    raise ValueError(f"unknown chaos key {key!r}")
-            except ValueError as exc:
-                raise ValueError(f"bad chaos spec {spec!r}: {exc}") from exc
-        return cls(**fields)
+                except ValueError:
+                    raise ValueError(
+                        f"bad chaos spec {spec!r}: {value!r} in {part!r} "
+                        "is not an integer"
+                    ) from None
+            else:
+                raise ValueError(
+                    f"bad chaos spec {spec!r}: unknown chaos key {key!r} "
+                    f"in {part!r} (known: {_CHAOS_KNOWN})"
+                )
+        try:
+            return cls(**fields)
+        except ValueError as exc:
+            raise ValueError(f"bad chaos spec {spec!r}: {exc}") from None
 
     @classmethod
     def from_env(cls) -> Optional["ChaosConfig"]:
-        """The ``REPRO_CHAOS`` config, or ``None`` when unset/disabled."""
+        """The ``REPRO_CHAOS`` config, or ``None`` when unset/disabled.
+
+        A malformed spec raises ``ValueError`` with the offending token
+        — callers that fan work out (the seed pool, the evaluator, the
+        campaign worker) validate eagerly in the parent process so the
+        error surfaces once, loudly, instead of as a cryptic
+        ``BrokenProcessPool`` from every worker at once.
+        """
         spec = os.environ.get(CHAOS_ENV, "")
         if not spec:
             return None

@@ -292,6 +292,13 @@ class TelemetryCollector(NullCollector):
         kept worker-relative (each worker's clock starts at its own
         collector construction); the ``scope`` attribute marks them.
 
+        Scopes *compose*: a record that already carries a ``scope``
+        (it was merged once on another host — e.g. ``worker.3`` from a
+        campaign worker's seed pool) is re-scoped to
+        ``<scope>.<existing>``, so a distributed campaign's doubly
+        shipped spans land under ``host.<name>.worker.<seed>`` with the
+        path prefixed once per hop.
+
         Increments ``worker.trace.merged`` once per merged trace.
         """
         for record in records:
@@ -302,7 +309,8 @@ class TelemetryCollector(NullCollector):
                 self.inc(record["name"], record["value"])
                 continue
             merged = dict(record)
-            merged["scope"] = scope
+            existing = merged.get("scope")
+            merged["scope"] = f"{scope}.{existing}" if existing else scope
             if kind == "span":
                 merged["path"] = f"{scope}/{merged['path']}"
                 merged["depth"] = merged["depth"] + 1
