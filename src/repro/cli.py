@@ -276,6 +276,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         state_dir=args.state_dir,
         workers=args.workers,
         cache_size=args.cache_size,
+        queue_max=args.queue_max,
+        use_tier=not args.no_tier,
     )
 
 
@@ -415,6 +417,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=None, metavar="N",
                        help="max resident warm simulators (default: "
                             "$REPRO_SERVICE_CACHE_SIZE or 8)")
+    serve.add_argument("--queue-max", type=int, default=None, metavar="N",
+                       help="max queued jobs before submissions are "
+                            "rejected with 429 (default: "
+                            "$REPRO_SERVICE_QUEUE_MAX or unbounded)")
+    serve.add_argument("--no-tier", action="store_true",
+                       help="execute run jobs in-thread instead of the "
+                            "fault-isolated process tier (bit-identical "
+                            "results; loses crash/hang isolation)")
     serve.set_defaults(func=cmd_serve)
 
     sub.add_parser(

@@ -8,6 +8,7 @@ from .checkpoint import (
     load_checkpoint,
     load_run_checkpoint,
     restore_sim_run_state,
+    run_checkpoint_is_preempted,
     save_checkpoint,
     save_run_checkpoint,
     sim_run_state,
@@ -28,7 +29,12 @@ from .fitness import (
     phase3_fitness,
     phase4_fitness,
 )
-from .generator import GaTestGenerator, generate_tests, make_fault_simulator
+from .generator import (
+    GaTestGenerator,
+    RunPreempted,
+    generate_tests,
+    make_fault_simulator,
+)
 from .hybrid import HybridAtpg, HybridResult, run_hybrid
 from .phases import PhaseTracker
 from .results import StageEvent, TestGenResult
@@ -41,6 +47,8 @@ __all__ = [
     "load_checkpoint",
     "load_run_checkpoint",
     "restore_sim_run_state",
+    "run_checkpoint_is_preempted",
+    "RunPreempted",
     "save_checkpoint",
     "save_run_checkpoint",
     "sim_run_state",

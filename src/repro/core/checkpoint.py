@@ -282,6 +282,18 @@ def load_run_checkpoint(path: Union[str, Path]) -> dict:
     return payload
 
 
+def run_checkpoint_is_preempted(payload: dict) -> bool:
+    """Whether a (loaded) run checkpoint was written by a preemption.
+
+    A preempted checkpoint is an ordinary run checkpoint in every other
+    respect — same schema, same guards, resumes bit-identically — the
+    marker only records *why* the run stopped, so operators and the job
+    service can distinguish "preempted mid-run, resumable" from
+    "finished" (``stage == "done"``) when inspecting state directories.
+    """
+    return bool(payload.get("preempted"))
+
+
 # ----------------------------------------------------------------------
 # Campaign journals (harness-level JSONL; crash-safe, resumable)
 # ----------------------------------------------------------------------

@@ -47,6 +47,25 @@ from .phases import PhaseTracker
 from .results import StageEvent, TestGenResult
 
 
+class RunPreempted(Exception):
+    """A run was stopped cooperatively before completion.
+
+    Raised out of :meth:`GaTestGenerator.run` when the run's ``stop``
+    hook (or :meth:`GaTestGenerator.request_stop`) fires.  When the run
+    had a checkpoint path, a final checkpoint marked ``preempted`` was
+    written at the stage boundary where the stop was observed —
+    resubmitting the identical canonical config resumes from it and
+    finishes bit-identically to an uninterrupted run.
+    ``checkpoint_written`` tells the caller whether that checkpoint
+    exists (a run without a checkpoint path preempts without one and
+    simply loses its progress).
+    """
+
+    def __init__(self, message: str, checkpoint_written: bool = False) -> None:
+        super().__init__(message)
+        self.checkpoint_written = checkpoint_written
+
+
 class _RunCheckpointer:
     """Periodic crash-safe checkpoint writer for one generator run.
 
@@ -168,6 +187,8 @@ class GaTestGenerator:
         self.ga_evaluations = 0
         self.trace: List[StageEvent] = []
         self.test_sequence: List[List[int]] = []
+        self._stop_requested = False
+        self._stop_hook: Optional[Callable[[], bool]] = None
 
     # ------------------------------------------------------------------
     # Evaluators
@@ -289,6 +310,51 @@ class GaTestGenerator:
     # Stage loops
     # ------------------------------------------------------------------
 
+    def request_stop(self) -> None:
+        """Ask the running :meth:`run` to preempt cooperatively.
+
+        Thread-safe (a single flag write); the run observes the request
+        at its next stage-event boundary, writes a final ``preempted``
+        checkpoint (when checkpointing) and raises :class:`RunPreempted`.
+        """
+        self._stop_requested = True
+
+    def _stop_pending(self) -> bool:
+        if self._stop_requested:
+            return True
+        hook = self._stop_hook
+        return hook is not None and bool(hook())
+
+    def _maybe_preempt(
+        self,
+        checkpointer: Optional[_RunCheckpointer],
+        stage: str,
+        tracker: PhaseTracker,
+        sequence_stage: Optional[dict] = None,
+    ) -> None:
+        """Honor a pending stop request at a stage-event boundary.
+
+        Stage boundaries are the only points where the loop state is
+        fully described by the checkpoint payload, so they are the only
+        points where preemption can leave behind a checkpoint that
+        resumes bit-identically.
+        """
+        if not self._stop_pending():
+            return
+        written = False
+        if checkpointer is not None:
+            payload = self._checkpoint_payload(stage, tracker, sequence_stage)
+            payload["preempted"] = True
+            checkpointer.write(payload)
+            written = True
+        if self.collector.enabled:
+            self.collector.inc("run.preempted")
+        raise RunPreempted(
+            f"run on {self.circuit.name!r} preempted at a {stage} stage "
+            "boundary" + (" (resumable checkpoint written)" if written else ""),
+            checkpoint_written=written,
+        )
+
     def _vector_budget_left(self, need: int = 1) -> bool:
         cap = self.config.max_vectors
         return cap is None or len(self.test_sequence) + need <= cap
@@ -327,6 +393,7 @@ class GaTestGenerator:
                 checkpointer.tick(
                     lambda: self._checkpoint_payload("vectors", tracker)
                 )
+            self._maybe_preempt(checkpointer, "vectors", tracker)
 
     def _generate_sequences(
         self,
@@ -382,6 +449,10 @@ class GaTestGenerator:
                             {"length_index": index, "failures": failures},
                         )
                     )
+                self._maybe_preempt(
+                    checkpointer, "sequences", tracker,
+                    {"length_index": index, "failures": failures},
+                )
 
     # ------------------------------------------------------------------
 
@@ -507,6 +578,7 @@ class GaTestGenerator:
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
         resume: bool = False,
+        stop: Optional[Callable[[], bool]] = None,
     ) -> TestGenResult:
         """Execute the full Figure-1 flow and return the result record.
 
@@ -519,8 +591,17 @@ class GaTestGenerator:
         completion; with ``resume=True`` the run restarts from that file
         and finishes bit-identically to an uninterrupted run (the
         checkpoint carries the RNG state).
+
+        ``stop`` is the cooperative preemption hook: a zero-argument
+        callable polled once per stage event (alongside any pending
+        :meth:`request_stop`).  When it returns true the run writes a
+        final ``preempted`` checkpoint (when checkpointing) and raises
+        :class:`RunPreempted` — see its docstring for the resume
+        contract.  The hook must be cheap; the job service passes a
+        stop-file existence probe.
         """
         collector = self.collector
+        self._stop_hook = stop
         checkpointer: Optional[_RunCheckpointer] = None
         if checkpoint_path is not None:
             checkpointer = _RunCheckpointer(

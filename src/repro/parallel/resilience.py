@@ -48,6 +48,14 @@ LEASE_TTL_ENV = "REPRO_LEASE_TTL"
 #: Re-lease retry budget per cell before the coordinator degrades to
 #: local in-process execution.
 LEASE_RETRIES_ENV = "REPRO_LEASE_RETRIES"
+#: Per-run-job deadline for the service's process execution tier, in
+#: seconds (<= 0 disables; unset falls back to no deadline — like a
+#: seed run, a whole GA run has no sane universal wall-clock bound).
+#: A request's explicit ``deadline_s`` field beats this.
+JOB_TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
+#: Tier-respawn retry budget per run job before the service degrades
+#: that job to bit-identical in-thread execution.
+JOB_RETRIES_ENV = "REPRO_JOB_RETRIES"
 
 #: Default per-shard-task timeout.  Shard tasks are sub-second in normal
 #: operation; minutes of silence means a hung or thrashing worker.
@@ -117,6 +125,27 @@ class RetryPolicy:
             raw = os.environ.get(retries_env, "")
             max_retries = int(raw) if raw else DEFAULT_MAX_RETRIES
         return cls(max_retries=max_retries, task_timeout=task_timeout)
+
+
+def inject_chaos(chaos: Optional["ChaosConfig"], task_seq: int) -> None:
+    """Kill or stall the *calling process* if the chaos config says so.
+
+    The shared worker-side half of the chaos hook, used by every pool
+    worker family (evaluator shards, seed runs, service tier jobs).  A
+    crash is ``os._exit`` — no exception, no cleanup, exactly what the
+    kernel's OOM killer looks like from the parent (the pool breaks and
+    every outstanding future raises ``BrokenProcessPool``).  A hang is a
+    long sleep the parent must detect via its task timeout.
+    """
+    if chaos is None:
+        return
+    action = chaos.decide(task_seq)
+    if action == "crash":
+        os._exit(75)
+    if action == "hang":
+        import time
+
+        time.sleep(chaos.hang_seconds)
 
 
 #: Chaos spec keys that are probabilities, mapped to their field names.

@@ -27,14 +27,13 @@ by name inside pool worker processes.
 
 from __future__ import annotations
 
-import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faults.simulator import FaultSimulator
 from ..sim.compile import CompiledCircuit
 from ..sim.logic3 import GoodState, Vector
-from .resilience import ChaosConfig
+from .resilience import ChaosConfig, inject_chaos
 
 #: The worker-resident simulator (one per pool process).
 _SIM: Optional[FaultSimulator] = None
@@ -95,18 +94,10 @@ def init_worker(
 def _maybe_inject_chaos(task_seq: int) -> None:
     """Kill or stall this worker if the chaos config says so.
 
-    A crash is ``os._exit`` — no exception, no cleanup, exactly what the
-    kernel's OOM killer looks like from the parent (the pool breaks and
-    every outstanding future raises ``BrokenProcessPool``).  A hang is a
-    long sleep the parent must detect via its task timeout.
+    Delegates to the shared :func:`~repro.parallel.resilience.inject_chaos`
+    (one injection semantics for every worker family).
     """
-    if _CHAOS is None:
-        return
-    action = _CHAOS.decide(task_seq)
-    if action == "crash":
-        os._exit(75)
-    if action == "hang":
-        time.sleep(_CHAOS.hang_seconds)
+    inject_chaos(_CHAOS, task_seq)
 
 
 def run_batch_shard(task: ShardTask, task_seq: int = 0) -> ShardResult:

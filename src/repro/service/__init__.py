@@ -8,14 +8,18 @@ state **warm** in a long-lived process behind a small HTTP API
 
 * :mod:`~repro.service.state` — keyed LRU registry of compiled
   circuits and leased resident fault simulators;
-* :mod:`~repro.service.jobs` — job validation/queue/worker pool,
-  request coalescing, shared wide-word fsim batching, the sealed job
-  ledger, and checkpoint-backed crash recovery;
+* :mod:`~repro.service.jobs` — job validation/priority queue/worker
+  pool, request coalescing, shared wide-word fsim batching, admission
+  control, cancellation/preemption, the sealed job ledger, and
+  checkpoint-backed crash recovery;
+* :mod:`~repro.service.tier` — the fault-isolated process execution
+  tier for run jobs (deadlines, checkpoint-resuming retries, chaos
+  hooks, sticky in-thread degradation);
 * :mod:`~repro.service.http` — the asyncio HTTP front
-  (``POST /jobs``, ``GET /jobs/<id>``, ``GET /jobs/<id>/events``,
-  ``GET /healthz``, ``POST /shutdown``);
+  (``POST /jobs``, ``GET /jobs/<id>``, ``DELETE /jobs/<id>``,
+  ``GET /jobs/<id>/events``, ``GET /healthz``, ``POST /shutdown``);
 * :mod:`~repro.service.client` — :class:`ServiceClient`, a thin
-  ``http.client`` wrapper;
+  ``http.client`` wrapper with transient-connection retry;
 * :mod:`~repro.service.app` — :func:`serve`, the ``gatest serve``
   entry point.
 
@@ -26,7 +30,7 @@ PR 4 run-checkpoint contract.
 """
 
 from .app import serve
-from .client import ServiceClient, ServiceError
+from .client import ServiceBusyError, ServiceClient, ServiceError
 from .http import ServiceServer
 from .jobs import (
     Job,
@@ -34,10 +38,13 @@ from .jobs import (
     JobManager,
     JobSpec,
     JobValidationError,
+    QueueFullError,
     StreamingCollector,
     parse_job,
+    run_key,
 )
 from .state import WarmRegistry, circuit_key, sim_key
+from .tier import ProcessTier, TierExhausted
 
 __all__ = [
     "Job",
@@ -45,13 +52,18 @@ __all__ = [
     "JobManager",
     "JobSpec",
     "JobValidationError",
+    "ProcessTier",
+    "QueueFullError",
+    "ServiceBusyError",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
     "StreamingCollector",
+    "TierExhausted",
     "WarmRegistry",
     "circuit_key",
     "parse_job",
+    "run_key",
     "serve",
     "sim_key",
 ]

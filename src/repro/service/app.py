@@ -34,13 +34,18 @@ def serve(
     state_dir: Optional[str] = None,
     workers: Optional[int] = None,
     cache_size: Optional[int] = None,
+    queue_max: Optional[int] = None,
+    use_tier: bool = True,
 ) -> int:
     """Run the service until shutdown; returns a process exit status.
 
     With ``state_dir=None`` a throwaway directory is used: no recovery
     across restarts, but also no litter.  Pass a real directory to get
     the ledger/checkpoint/recovery behaviour described in
-    docs/SERVICE.md.
+    docs/SERVICE.md.  ``queue_max`` bounds the queued-job count
+    (``None``: ``REPRO_SERVICE_QUEUE_MAX``, unset = unbounded);
+    ``use_tier=False`` keeps run jobs in-thread (no process isolation —
+    a debugging escape hatch, results are bit-identical either way).
     """
     collector = TelemetryCollector(source="repro.service")
     if state_dir is None:
@@ -55,6 +60,8 @@ def serve(
         collector=collector,
         workers=workers if workers is not None else workers_from_env(),
         cache_size=cache_size,
+        queue_max=queue_max,
+        use_tier=use_tier,
     )
     try:
         asyncio.run(_serve_async(manager, host, port))

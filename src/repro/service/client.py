@@ -4,7 +4,21 @@ Mirrors the API in docs/SERVICE.md one method per endpoint, plus two
 conveniences (:meth:`ServiceClient.wait` polls a job to a terminal
 state; :meth:`ServiceClient.events` iterates the live telemetry
 stream).  Raises :class:`ServiceError` carrying the HTTP status and the
-server's ``error`` message on any non-200 response.
+server's ``error`` message on any non-200 response — except ``429``
+(queue full), which raises the typed :class:`ServiceBusyError` with the
+server's ``Retry-After`` hint so callers can implement load-aware
+backoff instead of string-matching an error.
+
+**Transient connection errors are retried** with capped exponential
+backoff (:class:`~repro.parallel.resilience.RetryPolicy` semantics —
+same base/factor/cap as the worker pools): a service that is restarting,
+or a connection the kernel reset under load, is indistinguishable from
+a lost request, and *retrying a submission is safe* because the service
+coalesces identical in-flight requests by canonical payload digest —
+a resubmitted ``POST /jobs`` lands on the job the first attempt
+created, never a duplicate run.  Only connection-level failures are
+retried; HTTP error responses (including 429) are the server speaking
+and are surfaced immediately.
 
 >>> client = ServiceClient("127.0.0.1", 8337)          # doctest: +SKIP
 >>> job = client.submit({"kind": "run", "circuit": "s27",
@@ -21,6 +35,11 @@ import json
 import time
 from typing import Iterator, List, Optional
 
+from ..parallel.resilience import RetryPolicy
+
+#: Connection attempts per request (the request itself plus retries).
+DEFAULT_CONNECT_RETRIES = 3
+
 
 class ServiceError(RuntimeError):
     """A non-200 response from the service."""
@@ -31,44 +50,89 @@ class ServiceError(RuntimeError):
         self.message = message
 
 
+class ServiceBusyError(ServiceError):
+    """``429 Too Many Requests``: admission control rejected the
+    submission before anything was ledgered.  ``retry_after`` is the
+    server's ``Retry-After`` hint in seconds; resubmitting the same
+    payload after waiting is safe (and, if the job was accepted on a
+    racing attempt, coalesces onto it)."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(429, message)
+        self.retry_after = retry_after
+
+
 class ServiceClient:
-    """One service endpoint; a fresh connection per request."""
+    """One service endpoint; a fresh connection per request.
+
+    ``retries`` bounds how many times a *connection-level* failure
+    (refused, reset, timed out socket) is retried with the
+    :class:`RetryPolicy` backoff schedule before the error propagates.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8337,
-                 timeout: float = 60.0) -> None:
+                 timeout: float = 60.0,
+                 retries: int = DEFAULT_CONNECT_RETRIES) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry_policy = RetryPolicy(
+            max_retries=max(0, retries), task_timeout=None
+        )
 
     # -- plumbing ------------------------------------------------------
 
     def _request(self, method: str, path: str,
                  body: Optional[dict] = None) -> dict:
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
-        try:
-            payload = None if body is None else json.dumps(body)
-            headers = {"Content-Type": "application/json"} if payload else {}
-            conn.request(method, path, body=payload, headers=headers)
-            response = conn.getresponse()
-            data = json.loads(response.read() or b"{}")
-            if response.status != 200:
-                raise ServiceError(
-                    response.status, data.get("error", "unknown error")
-                )
-            return data
-        finally:
-            conn.close()
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        attempt = 0
+        while True:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = json.loads(response.read() or b"{}")
+                if response.status == 429:
+                    raise ServiceBusyError(
+                        data.get("error", "queue is full"),
+                        retry_after=float(
+                            response.getheader("Retry-After") or 1
+                        ),
+                    )
+                if response.status != 200:
+                    raise ServiceError(
+                        response.status, data.get("error", "unknown error")
+                    )
+                return data
+            except OSError:
+                # Transport failure (refused/reset/timed out socket),
+                # not a server answer — HTTP errors raise ServiceError
+                # above and are never retried here.  Digest coalescing
+                # makes re-POSTing idempotent, so every method is safe
+                # to retry.
+                if attempt >= self.retry_policy.max_retries:
+                    raise
+                time.sleep(self.retry_policy.backoff(attempt))
+                attempt += 1
+            finally:
+                conn.close()
 
     # -- endpoints -----------------------------------------------------
 
     def healthz(self) -> dict:
-        """``GET /healthz``: status, job counts, cache stats, counters."""
+        """``GET /healthz``: status, job/queue/tier/cache stats, counters."""
         return self._request("GET", "/healthz")
 
     def submit(self, spec: dict) -> dict:
-        """``POST /jobs``: submit a run/fsim job; returns the job record."""
+        """``POST /jobs``: submit a run/fsim job; returns the job record.
+
+        Raises :class:`ServiceBusyError` when the queue is full — wait
+        ``retry_after`` seconds and resubmit (idempotent: an identical
+        in-flight job absorbs the retry via digest coalescing).
+        """
         return self._request("POST", "/jobs", body=spec)
 
     def job(self, job_id: str) -> dict:
@@ -79,6 +143,17 @@ class ServiceClient:
         """``GET /jobs``: every job the service knows, oldest first."""
         return self._request("GET", "/jobs")["jobs"]
 
+    def cancel(self, job_id: str) -> dict:
+        """``DELETE /jobs/<id>``: cancel a queued job immediately or
+        preempt a running run job at its next stage boundary.
+
+        Returns ``{"id", "status"}`` — ``status`` may still be
+        ``running`` for a preemption in flight; poll :meth:`job` (or
+        :meth:`wait`) for the terminal ``preempted`` state.  Idempotent
+        on terminal jobs.
+        """
+        return self._request("DELETE", f"/jobs/{job_id}")
+
     def shutdown(self) -> dict:
         """``POST /shutdown``: graceful stop (in-flight jobs drain)."""
         return self._request("POST", "/shutdown")
@@ -87,14 +162,15 @@ class ServiceClient:
 
     def wait(self, job_id: str, timeout: float = 300.0,
              poll: float = 0.05) -> dict:
-        """Poll until the job is ``done``/``failed``; returns the record.
-
-        Raises :class:`TimeoutError` if the deadline passes first.
+        """Poll until the job reaches a terminal state
+        (``done``/``failed``/``cancelled``/``preempted``); returns the
+        record.  Raises :class:`TimeoutError` if the deadline passes
+        first.
         """
         deadline = time.monotonic() + timeout
         while True:
             record = self.job(job_id)
-            if record["status"] in ("done", "failed"):
+            if record["status"] in ("done", "failed", "cancelled", "preempted"):
                 return record
             if time.monotonic() >= deadline:
                 raise TimeoutError(

@@ -17,25 +17,27 @@ one slow request never stalls the accept loop.
 
 Routes::
 
-    GET  /healthz            liveness + job/cache stats + counters
-    POST /jobs               submit a job (docs/SERVICE.md schema)
-    GET  /jobs               all jobs, oldest first
-    GET  /jobs/<id>          one job's status/result
-    GET  /jobs/<id>/events   live telemetry stream (ndjson)
-    POST /shutdown           graceful stop (drains in-flight jobs)
+    GET    /healthz            liveness + job/queue/cache/tier stats + counters
+    POST   /jobs               submit a job (docs/SERVICE.md schema)
+    GET    /jobs               all jobs, oldest first
+    GET    /jobs/<id>          one job's status/result
+    DELETE /jobs/<id>          cancel a queued job / preempt a running run
+    GET    /jobs/<id>/events   live telemetry stream (ndjson)
+    POST   /shutdown           graceful stop (drains in-flight jobs)
 
 Error codes: 400 (bad JSON / bad spec / unknown circuit), 404 (unknown
-job or path), 405 (bad method), 413 (oversized body), 500 (handler
-bug).  Every error body is ``{"error": "<message>"}``.
+job or path), 405 (bad method), 413 (oversized body), 429 (queue full
+— carries a ``Retry-After`` header, and nothing was ledgered), 500
+(handler bug).  Every error body is ``{"error": "<message>"}``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from .jobs import JobManager, JobValidationError
+from .jobs import JobManager, JobValidationError, QueueFullError
 
 #: Largest accepted request body (a big fsim vector file is ~MBs).
 MAX_BODY_BYTES = 32 * 1024 * 1024
@@ -44,25 +46,37 @@ MAX_BODY_BYTES = 32 * 1024 * 1024
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
-    500: "Internal Server Error",
+    429: "Too Many Requests", 500: "Internal Server Error",
 }
 
 
 class HttpError(Exception):
-    """Terminate a request with ``status`` and a JSON error body."""
+    """Terminate a request with ``status`` and a JSON error body.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``headers`` are extra response headers (the 429 path carries
+    ``Retry-After`` so well-behaved clients back off instead of
+    hammering a saturated queue).
+    """
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = headers or {}
 
 
-def _response_bytes(status: int, body: dict) -> bytes:
+def _response_bytes(status: int, body: dict,
+                    headers: Optional[Dict[str, str]] = None) -> bytes:
     payload = json.dumps(body).encode()
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(payload)}\r\n"
+        f"{extra}"
         f"Connection: close\r\n"
         f"\r\n"
     ).encode()
@@ -107,7 +121,9 @@ class ServiceServer:
                 await self._route(method, path, body, writer)
             except HttpError as exc:
                 writer.write(
-                    _response_bytes(exc.status, {"error": exc.message})
+                    _response_bytes(
+                        exc.status, {"error": exc.message}, exc.headers
+                    )
                 )
             except (asyncio.IncompleteReadError, ConnectionError):
                 return
@@ -194,6 +210,14 @@ class ServiceServer:
                 self._require_method(method, "GET")
                 await self._stream_events(rest[: -len("/events")].rstrip("/"), writer)
                 return
+            if method == "DELETE":
+                status = await asyncio.to_thread(self.manager.cancel, rest)
+                if status is None:
+                    raise HttpError(404, f"no such job: {rest!r}")
+                writer.write(
+                    _response_bytes(200, {"id": rest, "status": status})
+                )
+                return
             self._require_method(method, "GET")
             job = self.manager.get(rest)
             if job is None:
@@ -214,6 +238,11 @@ class ServiceServer:
             return self.manager.submit(body)
         except JobValidationError as exc:
             raise HttpError(400, str(exc))
+        except QueueFullError as exc:
+            raise HttpError(
+                429, str(exc),
+                headers={"Retry-After": str(exc.retry_after)},
+            )
 
     def _healthz(self) -> dict:
         counters = {}
@@ -222,6 +251,8 @@ class ServiceServer:
         return {
             "status": "ok",
             "jobs": self.manager.stats(),
+            "queue": self.manager.queue_stats(),
+            "tier": self.manager.tier_stats(),
             "cache": self.manager.registry.stats(),
             "counters": counters,
         }

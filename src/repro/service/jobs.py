@@ -23,6 +23,22 @@ and "result JSON ready":
   :class:`~repro.core.generator.GaTestGenerator` via its ``fsim``
   parameter, so repeat requests skip parse/levelize/kernel-compile and
   reuse warm worker pools.
+* **Process tier** — run jobs execute in the supervised
+  :class:`~repro.service.tier.ProcessTier` worker pool (deadline,
+  checkpoint-resuming retries, hard teardown + respawn, chaos hooks;
+  see :mod:`repro.service.tier`), with *sticky degradation* back to
+  bit-identical in-thread execution when the tier is exhausted
+  (``service.jobs.degraded``).  Worker threads keep scheduling and
+  fsim batching; they just stop hosting the GA runs themselves.
+* **Control plane** — an integer ``priority`` orders the queue
+  (highest first, FIFO within a priority); :meth:`JobManager.cancel`
+  (``DELETE /jobs/<id>``) cancels queued jobs immediately and preempts
+  running run jobs cooperatively — the generator writes a final
+  ``preempted`` checkpoint at its next stage boundary, so resubmitting
+  the identical config resumes bit-identically; a bounded queue
+  (``REPRO_SERVICE_QUEUE_MAX``) rejects overflow with
+  :class:`QueueFullError` (HTTP 429 + ``Retry-After``) *before*
+  anything is ledgered, so every accepted job is durable.
 * **Ledger + recovery** — every accepted/completed/failed transition is
   appended to a sealed JSONL ledger (the per-line content hashes of
   :func:`repro.core.checkpoint.seal_journal_record`).  On restart,
@@ -44,6 +60,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -55,10 +72,13 @@ from ..core.checkpoint import (
     seal_journal_record,
 )
 from ..core.config import TestGenConfig
-from ..core.generator import GaTestGenerator
+from ..core.generator import GaTestGenerator, RunPreempted
 from ..harness.campaign import result_to_json
+from ..harness.distributed import config_to_json
+from ..parallel.resilience import JOB_RETRIES_ENV, JOB_TIMEOUT_ENV, RetryPolicy
 from ..telemetry import NullCollector, TelemetryCollector, get_collector, make_record
 from .state import WarmRegistry, circuit_key, sim_key
+from .tier import ProcessTier, TierExhausted
 
 #: Default stage events between run-job checkpoint writes.
 DEFAULT_CHECKPOINT_EVERY = 8
@@ -66,12 +86,37 @@ DEFAULT_CHECKPOINT_EVERY = 8
 #: Environment knob: number of job worker threads.
 WORKERS_ENV = "REPRO_SERVICE_WORKERS"
 
-#: Job lifecycle states (``queued -> running -> done | failed``).
-JOB_STATES = ("queued", "running", "done", "failed")
+#: Environment knob: max queued jobs before admission control rejects
+#: (empty/<= 0: unbounded).
+QUEUE_MAX_ENV = "REPRO_SERVICE_QUEUE_MAX"
+
+#: Seconds a rejected client is told to wait before retrying.
+RETRY_AFTER_SECONDS = 1
+
+#: Job lifecycle states.  ``queued -> running -> done | failed`` is the
+#: normal flow; ``cancelled`` is a queued job killed by ``DELETE``
+#: before execution, ``preempted`` is a running run job stopped
+#: cooperatively at a stage boundary (resumable via resubmission).
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled", "preempted")
+
+#: States a job never leaves (and the ledger events that record them).
+TERMINAL_STATES = ("done", "failed", "cancelled", "preempted")
 
 
 class JobValidationError(ValueError):
     """A job request payload is malformed (HTTP layer maps this to 400)."""
+
+
+class QueueFullError(Exception):
+    """Admission control rejected a submission: the queue is at
+    ``queue_max``.  Raised *before* the job is ledgered — a rejected
+    request leaves no trace, so every ledgered job is durable.  The
+    HTTP layer maps this to ``429`` with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: int = RETRY_AFTER_SECONDS) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class StreamingCollector(TelemetryCollector):
@@ -123,6 +168,27 @@ class StreamingCollector(TelemetryCollector):
             done = self._stream_done and start + len(fresh) == len(self._stream)
             return fresh, done
 
+    def absorb_worker_records(self, records: List[dict]) -> None:
+        """Replay a tier worker's shipped trace into this collector.
+
+        Events pass through :meth:`_emit` (so the live stream sees
+        them in order), counter deltas fold into this collector's
+        aggregates (so they appear once, as finals, when
+        :meth:`finish_stream` runs), and the worker's ``meta`` record
+        is dropped — the stream already opened with this job's own.
+        The result is indistinguishable from the job having recorded
+        in-process, which is what keeps tier execution transparent to
+        ``GET /jobs/<id>/events`` clients.
+        """
+        for record in records:
+            kind = record.get("kind")
+            if kind == "meta":
+                continue
+            if kind == "counter":
+                self.inc(record["name"], record["value"])
+                continue
+            self._emit(dict(record))
+
 
 # ----------------------------------------------------------------------
 # Job specs
@@ -142,6 +208,8 @@ class JobSpec:
     checkpoint_every: int                # run only
     payload: dict                        # canonical raw request (for the ledger)
     digest: str                          # canonical payload digest (coalescing)
+    priority: int = 0                    # queue ordering (higher first)
+    deadline_s: Optional[float] = None   # run only: per-attempt deadline
 
 
 def _canonical_digest(payload: dict) -> str:
@@ -174,8 +242,23 @@ def parse_job(payload: object) -> JobSpec:
         isinstance(scale, (int, float)) and not isinstance(scale, bool) and scale > 0,
         "field 'scale' must be a positive number",
     )
+    priority = payload.get("priority", 0)
+    _require(
+        isinstance(priority, int) and not isinstance(priority, bool),
+        "field 'priority' must be an integer",
+    )
+    deadline_s = payload.get("deadline_s")
+    if deadline_s is not None:
+        _require(kind == "run", "field 'deadline_s' only applies to run jobs")
+        _require(
+            isinstance(deadline_s, (int, float))
+            and not isinstance(deadline_s, bool) and deadline_s > 0,
+            "field 'deadline_s' must be a positive number",
+        )
+        deadline_s = float(deadline_s)
     if kind == "run":
-        allowed = {"kind", "circuit", "scale", "config", "checkpoint_every"}
+        allowed = {"kind", "circuit", "scale", "config", "checkpoint_every",
+                   "priority", "deadline_s"}
         config_raw = payload.get("config", {})
         _require(isinstance(config_raw, dict), "field 'config' must be an object")
         try:
@@ -191,7 +274,8 @@ def parse_job(payload: object) -> JobSpec:
         seed = config.seed
         vectors = None
     else:
-        allowed = {"kind", "circuit", "scale", "seed", "kernel", "vectors"}
+        allowed = {"kind", "circuit", "scale", "seed", "kernel", "vectors",
+                   "priority"}
         seed = payload.get("seed", 0)
         _require(
             isinstance(seed, int) and not isinstance(seed, bool),
@@ -233,7 +317,28 @@ def parse_job(payload: object) -> JobSpec:
         checkpoint_every=checkpoint_every,
         payload=canonical,
         digest=_canonical_digest(canonical),
+        priority=priority,
+        deadline_s=deadline_s,
     )
+
+
+def run_key(spec: JobSpec, config: TestGenConfig) -> str:
+    """The stable identity of one deterministic run — and therefore of
+    its checkpoint file.
+
+    Keyed on the circuit resolution inputs plus the *effective*
+    (per-circuit) config's result-affecting digest; scheduling fields
+    (``priority``, ``deadline_s``, ``checkpoint_every``) and execution
+    knobs are excluded, so a resubmission of the same canonical run —
+    even at a different priority or deadline — maps to the same
+    checkpoint and resumes the work a preempted or killed predecessor
+    left behind.
+    """
+    blob = json.dumps(
+        [spec.circuit, spec.scale, spec.seed, config.digest()],
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
 # ----------------------------------------------------------------------
@@ -254,9 +359,11 @@ class Job:
     resumed: bool = False
     coalesced: int = 0
     collector: StreamingCollector = field(init=False)
+    cancel_event: threading.Event = field(init=False)
 
     def __post_init__(self) -> None:
         self.collector = StreamingCollector(source=f"repro.service.job.{self.id}")
+        self.cancel_event = threading.Event()
 
     def to_json(self) -> dict:
         return {
@@ -268,6 +375,8 @@ class Job:
             "error": self.error,
             "resumed": self.resumed,
             "coalesced": self.coalesced,
+            "priority": self.spec.priority,
+            "cancel_requested": self.cancel_event.is_set(),
         }
 
 
@@ -330,14 +439,31 @@ def workers_from_env(default: int = 2) -> int:
         return default
 
 
+def queue_max_from_env(default: Optional[int] = None) -> Optional[int]:
+    """Resolve the queue bound from :data:`QUEUE_MAX_ENV` (None: unbounded)."""
+    raw = os.environ.get(QUEUE_MAX_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else None
+
+
 class JobManager:
     """Accepts, schedules, executes, and recovers jobs.
 
-    ``state_dir`` holds the ledger (``ledger.jsonl``) and per-job run
-    checkpoints (``checkpoints/<id>.ckpt``); pass the same directory to
-    a restarted service and unfinished jobs are recovered.  ``workers``
-    threads drain the queue; with one worker, execution order (and
-    therefore the service telemetry trace) is deterministic.
+    ``state_dir`` holds the ledger (``ledger.jsonl``) and run
+    checkpoints (``checkpoints/run-<runkey>.ckpt``, keyed by the job's
+    deterministic :func:`run_key` so resubmissions resume prior work);
+    pass the same directory to a restarted service and unfinished jobs
+    are recovered.  ``workers`` threads schedule the queue (run jobs
+    execute in the process tier unless ``use_tier=False`` or the tier
+    degrades); with one worker, execution order (and therefore the
+    service telemetry trace) is deterministic.  ``queue_max`` bounds
+    the number of queued jobs (``None``: read ``REPRO_SERVICE_QUEUE_MAX``,
+    unset means unbounded).
     """
 
     def __init__(
@@ -346,11 +472,19 @@ class JobManager:
         collector: Optional[NullCollector] = None,
         workers: int = 2,
         cache_size: Optional[int] = None,
+        queue_max: Optional[int] = None,
+        use_tier: bool = True,
     ) -> None:
         self.state_dir = Path(state_dir)
         self.collector = collector if collector is not None else get_collector()
         self.registry = WarmRegistry(collector=self.collector, max_sims=cache_size)
         self.ledger = JobLedger(self.state_dir / "ledger.jsonl")
+        self.queue_max = queue_max if queue_max is not None else queue_max_from_env()
+        self.use_tier = use_tier
+        self.tier = ProcessTier(
+            collector=self.collector, max_workers=max(1, workers)
+        ) if use_tier else None
+        self._tier_degraded = False
         self._cond = threading.Condition()
         self._jobs: Dict[str, Job] = {}
         self._by_digest: Dict[str, str] = {}  # digest -> newest job id
@@ -370,8 +504,12 @@ class JobManager:
         """Validate and enqueue a job; returns ``(job, coalesced)``.
 
         Raises :class:`JobValidationError` (HTTP 400) on a bad payload
-        or an unresolvable circuit.  An identical queued/running job
-        absorbs the request instead of enqueueing a duplicate.
+        or an unresolvable circuit, and :class:`QueueFullError` (HTTP
+        429) when admission control rejects — checked *before* the
+        ledger append, so a rejected request is never ledgered.  An
+        identical queued/running job absorbs the request instead of
+        enqueueing a duplicate (coalescing is exempt from the queue
+        bound: it adds no queue entry).
         """
         spec = parse_job(payload)
         # Resolve (and warm) the circuit now so an unknown name is a
@@ -389,6 +527,17 @@ class JobManager:
                     if self.collector.enabled:
                         self.collector.inc("service.jobs.coalesced")
                     return existing, True
+            if self.queue_max is not None:
+                depth = sum(
+                    1 for j in self._jobs.values() if j.status == "queued"
+                )
+                if depth >= self.queue_max:
+                    if self.collector.enabled:
+                        self.collector.inc("service.queue.rejected")
+                    raise QueueFullError(
+                        f"queue is full ({depth} of {self.queue_max} slots); "
+                        "retry later"
+                    )
             job = self._accept(spec)
             self._cond.notify_all()
         self.ledger.append(
@@ -396,6 +545,51 @@ class JobManager:
              "payload": spec.payload}
         )
         return job, False
+
+    def cancel(self, job_id: str) -> Optional[str]:
+        """Cancel or preempt a job; returns its (possibly unchanged)
+        status, or ``None`` for an unknown id.
+
+        A *queued* job goes terminal (``cancelled``) immediately and is
+        ledgered as such.  A *running* run job is preempted
+        cooperatively: the stop file is touched and the cancel event
+        set, the generator observes it at its next stage boundary,
+        writes a final ``preempted`` checkpoint and the job lands in
+        the ``preempted`` terminal state — the returned status is still
+        ``running`` until that happens, so callers poll.  Running fsim
+        jobs are single wide-word passes with no stage boundaries —
+        they are not preemptible and simply finish.  Terminal jobs are
+        a no-op (idempotent delete).
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.status == "queued":
+                job.status = "cancelled"
+                job.error = "cancelled before execution"
+                self._cond.notify_all()
+            elif job.status == "running":
+                job.cancel_event.set()
+                if job.spec.kind == "run":
+                    self._stop_path(job).touch()
+                return job.status
+            else:
+                return job.status
+        # Queued -> cancelled: record the terminal transition outside
+        # the lock (ledger appends fsync).
+        self.ledger.append(
+            {"event": "cancelled", "id": job.id,
+             "error": "cancelled before execution"}
+        )
+        if self.collector.enabled:
+            self.collector.inc("service.jobs.cancelled")
+        job.collector.finish_stream()
+        if self.collector.enabled:
+            self.collector.merge_worker_trace(
+                f"job.{job.id}", job.collector.records()
+            )
+        return "cancelled"
 
     def _accept(
         self,
@@ -442,6 +636,31 @@ class JobManager:
                 counts[job.status] += 1
         return counts
 
+    def queue_stats(self) -> dict:
+        """Queue saturation for ``GET /healthz``: depth, bound, and
+        queued counts per priority (keys are priority values as
+        strings, JSON-object friendly)."""
+        by_priority: Dict[str, int] = {}
+        with self._cond:
+            queued = [j for j in self._jobs.values() if j.status == "queued"]
+        for job in queued:
+            key = str(job.spec.priority)
+            by_priority[key] = by_priority.get(key, 0) + 1
+        return {
+            "depth": len(queued),
+            "max": self.queue_max,
+            "by_priority": by_priority,
+        }
+
+    def tier_stats(self) -> dict:
+        """Process-tier state for ``GET /healthz``."""
+        stats = self.tier.stats() if self.tier is not None else {
+            "workers": 0, "live": False, "restarts": 0, "retries": 0,
+        }
+        stats["enabled"] = self.tier is not None
+        stats["degraded"] = self._tier_degraded
+        return stats
+
     def wait_idle(self, timeout: Optional[float] = None) -> bool:
         """Block until no job is queued or running (for tests/shutdown)."""
         with self._cond:
@@ -472,7 +691,7 @@ class JobManager:
             event = record.get("event")
             if event == "accepted":
                 accepted.append(record)
-            elif event in ("completed", "failed"):
+            elif event in ("completed", "failed", "cancelled", "preempted"):
                 finished[record["id"]] = record
         for record in accepted:
             job_id = record.get("id", "")
@@ -488,9 +707,10 @@ class JobManager:
                 )
                 if final is not None:
                     job.resumed = False
-                    job.status = (
-                        "done" if final["event"] == "completed" else "failed"
-                    )
+                    job.status = {
+                        "completed": "done", "failed": "failed",
+                        "cancelled": "cancelled", "preempted": "preempted",
+                    }[final["event"]]
                     job.result = final.get("result")
                     job.error = final.get("error")
                 elif self.collector.enabled:
@@ -500,10 +720,31 @@ class JobManager:
 
     # -- execution -----------------------------------------------------
 
-    def _checkpoint_path(self, job: Job) -> Path:
+    def _checkpoint_path(self, job: Job, config: TestGenConfig) -> Path:
+        """The job's run checkpoint, keyed by :func:`run_key` — not the
+        job id — so a resubmission of the same canonical run (after a
+        preemption, a crash, or at a different priority) finds and
+        resumes the prior attempt's checkpoint."""
         root = self.state_dir / "checkpoints"
         root.mkdir(parents=True, exist_ok=True)
-        return root / f"{job.id}.ckpt"
+        return root / f"run-{run_key(job.spec, config)}.ckpt"
+
+    def _stop_path(self, job: Job) -> Path:
+        """The job's preemption stop file (touched by :meth:`cancel`,
+        polled by the generator's stop hook — existence *is* the
+        signal, which crosses the process-tier boundary for free)."""
+        root = self.state_dir / "checkpoints"
+        root.mkdir(parents=True, exist_ok=True)
+        return root / f"{job.id}.stop"
+
+    @staticmethod
+    def queue_order(jobs) -> List[Job]:
+        """Queued jobs in dispatch order: highest ``priority`` first,
+        FIFO (submission ``seq``) within a priority."""
+        return sorted(
+            (j for j in jobs if j.status == "queued"),
+            key=lambda j: (-j.spec.priority, j.seq),
+        )
 
     def _worker(self) -> None:
         while True:
@@ -514,10 +755,7 @@ class JobManager:
                 )
                 if self._stop:
                     return
-                queued = sorted(
-                    (j for j in self._jobs.values() if j.status == "queued"),
-                    key=lambda j: j.seq,
-                )
+                queued = self.queue_order(self._jobs.values())
                 job = queued[0]
                 job.status = "running"
                 group = [job]
@@ -542,31 +780,55 @@ class JobManager:
         return (sim_key(ckey, spec.config), len(spec.vectors or ()))
 
     def _finish(self, job: Job, result: Optional[dict] = None,
-                error: Optional[str] = None) -> None:
+                error: Optional[str] = None,
+                status: Optional[str] = None) -> None:
         """Record a terminal state: ledger, counters, trace merge, wake.
 
-        The event stream is completed *after* the status flip so a
-        client that drains the stream to its end is guaranteed to see
-        a terminal status on its next poll.
+        ``status`` defaults to ``done``/``failed`` from ``error``;
+        pass ``"preempted"`` for a cooperative stop.  The event stream
+        is completed *after* the status flip so a client that drains
+        the stream to its end is guaranteed to see a terminal status on
+        its next poll.
         """
-        if error is None:
-            self.ledger.append({"event": "completed", "id": job.id, "result": result})
-            if self.collector.enabled:
-                self.collector.inc("service.jobs.completed")
+        if status is None:
+            status = "done" if error is None else "failed"
+        event = {
+            "done": "completed", "failed": "failed",
+            "cancelled": "cancelled", "preempted": "preempted",
+        }[status]
+        record = {"event": event, "id": job.id}
+        if status == "done":
+            record["result"] = result
         else:
-            self.ledger.append({"event": "failed", "id": job.id, "error": error})
-            if self.collector.enabled:
-                self.collector.inc("service.jobs.failed")
+            record["error"] = error
+        self.ledger.append(record)
+        if self.collector.enabled:
+            self.collector.inc(f"service.jobs.{event}")
+        if job.spec.kind == "run":
+            # A consumed stop request must not leak into a future job
+            # that happens to reuse this id after recovery.
+            self._stop_path(job).unlink(missing_ok=True)
         with self._cond:
             job.result = result
             job.error = error
-            job.status = "done" if error is None else "failed"
+            job.status = status
             self._cond.notify_all()
         job.collector.finish_stream()
         if self.collector.enabled:
             self.collector.merge_worker_trace(
                 f"job.{job.id}", job.collector.records()
             )
+
+    def _job_policy(self, spec: JobSpec) -> RetryPolicy:
+        """Deadline/retry policy for one run job: the request's
+        ``deadline_s`` beats ``REPRO_JOB_TIMEOUT`` beats no deadline;
+        retries come from ``REPRO_JOB_RETRIES``."""
+        return RetryPolicy.from_env(
+            task_timeout=spec.deadline_s,
+            timeout_env=JOB_TIMEOUT_ENV,
+            retries_env=JOB_RETRIES_ENV,
+            default_timeout=None,
+        )
 
     def _execute_run(self, job: Job) -> None:
         spec = job.spec
@@ -576,13 +838,46 @@ class JobManager:
         # registry must key on the same effective config or a deep
         # circuit's simulator would alias a shallow one's.
         config = spec.config.for_circuit(compiled.circuit.name)
-        checkpoint = self._checkpoint_path(job)
-        resume = job.resumed and checkpoint.exists()
+        checkpoint = self._checkpoint_path(job, config)
+        stop_path = self._stop_path(job)
+        if self.tier is not None and not self._tier_degraded:
+            task = {
+                "circuit": spec.circuit,
+                "scale": spec.scale,
+                "seed": spec.seed,
+                "config": config_to_json(config),
+                "checkpoint_path": str(checkpoint),
+                "stop_path": str(stop_path),
+                "checkpoint_every": spec.checkpoint_every,
+            }
+            try:
+                status, payload, records = self.tier.execute(
+                    task, self._job_policy(spec)
+                )
+            except TierExhausted:
+                # Sticky degradation: from here on every run job takes
+                # the bit-identical in-thread path.  *This* job resumes
+                # from whatever checkpoint its tier attempts wrote, so
+                # the failed attempts' work is not lost.
+                self._tier_degraded = True
+            else:
+                job.collector.absorb_worker_records(records)
+                if status == "done":
+                    self._finish(job, result=payload)
+                elif status == "preempted":
+                    self._finish(job, error="preempted by DELETE",
+                                 status="preempted")
+                else:
+                    self._finish(job, error=payload)
+                return
+        if self._tier_degraded and self.collector.enabled:
+            self.collector.inc("service.jobs.degraded")
+        resume = checkpoint.exists()
         sim = self.registry.lease(ckey, config)
         try:
             try:
                 result = self._run_generator(
-                    job, compiled, config, sim, checkpoint, resume
+                    job, compiled, config, sim, checkpoint, resume, stop_path
                 )
             except CheckpointError as exc:
                 if not resume:
@@ -591,12 +886,17 @@ class JobManager:
                 # config/circuit.  The seed is deterministic, so a
                 # fresh run produces the same result the resumed one
                 # would have — fall back instead of failing the job.
-                if self.collector.enabled:
-                    self.collector.inc("service.jobs.resume_fallback")
+                # Counted on the job's collector (merged into the
+                # service trace at finish), same as the tier path.
+                job.collector.inc("service.jobs.resume_fallback")
                 sim.reset()
                 result = self._run_generator(
-                    job, compiled, config, sim, checkpoint, False
+                    job, compiled, config, sim, checkpoint, False, stop_path
                 )
+        except RunPreempted:
+            self.registry.release(ckey, config, sim)
+            self._finish(job, error="preempted by DELETE", status="preempted")
+            return
         except Exception as exc:
             self.registry.discard(sim)
             self._finish(job, error=f"{type(exc).__name__}: {exc}")
@@ -608,7 +908,8 @@ class JobManager:
         self._finish(job, result=payload)
 
     @staticmethod
-    def _run_generator(job, compiled, config, sim, checkpoint, resume):
+    def _run_generator(job, compiled, config, sim, checkpoint, resume,
+                       stop_path):
         generator = GaTestGenerator(
             compiled, config, collector=job.collector, fsim=sim
         )
@@ -617,6 +918,7 @@ class JobManager:
                 checkpoint_path=checkpoint,
                 checkpoint_every=job.spec.checkpoint_every,
                 resume=resume,
+                stop=lambda: job.cancel_event.is_set() or stop_path.exists(),
             )
         finally:
             generator.close()
@@ -674,10 +976,36 @@ class JobManager:
     # -- teardown ------------------------------------------------------
 
     def close(self, timeout: float = 10.0) -> None:
-        """Stop workers (after in-flight jobs finish) and close the cache."""
+        """Stop workers (after in-flight jobs finish), tear down the
+        process tier, and close the cache.
+
+        Worker threads that outlive the join timeout are *stragglers* —
+        daemon threads wedged on a job that will die with the process.
+        Leaking them silently would hide a hung service from operators,
+        so they are counted (``service.close.stragglers``) and the jobs
+        they were running are named on stderr.
+        """
         with self._cond:
             self._stop = True
             self._cond.notify_all()
         for thread in self._threads:
             thread.join(timeout=timeout)
+        stragglers = [t for t in self._threads if t.is_alive()]
+        if stragglers:
+            with self._cond:
+                stuck = sorted(
+                    j.id for j in self._jobs.values() if j.status == "running"
+                )
+            if self.collector.enabled:
+                self.collector.inc("service.close.stragglers", len(stragglers))
+            names = ", ".join(t.name for t in stragglers)
+            jobs = ", ".join(stuck) if stuck else "none identifiable"
+            print(
+                f"service: close() leaked {len(stragglers)} worker "
+                f"thread(s) past the {timeout:.0f}s join timeout "
+                f"({names}); running job(s): {jobs}",
+                file=sys.stderr,
+            )
+        if self.tier is not None:
+            self.tier.close()
         self.registry.close()

@@ -347,6 +347,35 @@ class TelemetryCollector(NullCollector):
             )
         return trace
 
+    def mark(self) -> tuple:
+        """An opaque position marker for :meth:`records_since`.
+
+        Lets a long-lived collector (e.g. the one a service tier worker
+        process keeps for its whole life) ship per-task *deltas*: mark
+        before the task, collect :meth:`records_since` after.  The
+        marker captures the event count and a counter snapshot.
+        """
+        return (len(self._events), dict(self._counters))
+
+    def records_since(self, marker: tuple) -> List[dict]:
+        """A valid partial trace of everything recorded after ``marker``.
+
+        Same shape as :meth:`records` — leading ``meta``, chronological
+        events, trailing ``counter`` records — but events are only those
+        emitted since the mark and counter values are *deltas* against
+        the snapshot, so folding the result into another collector via
+        :meth:`merge_worker_trace` (or replaying it record by record)
+        adds exactly this window's activity and nothing twice.
+        """
+        n_events, counters = marker
+        trace = [dict(self._meta)]
+        trace.extend(self._events[n_events:])
+        for name in sorted(self._counters):
+            delta = self._counters[name] - counters.get(name, 0)
+            if delta:
+                trace.append(make_record("counter", name=name, value=delta))
+        return trace
+
     def dump(self, path) -> int:
         """Write the trace as JSONL; returns the number of records."""
         from .sink import write_trace

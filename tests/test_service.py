@@ -380,8 +380,15 @@ class TestHttpApi:
         client, _ = live_service
         health = client.healthz()
         assert health["status"] == "ok"
-        assert set(health["jobs"]) == {"queued", "running", "done", "failed"}
+        assert set(health["jobs"]) == {
+            "queued", "running", "done", "failed", "cancelled", "preempted"
+        }
         assert health["cache"]["capacity"] >= 1
+        assert health["queue"]["depth"] == 0
+        assert "by_priority" in health["queue"]
+        assert health["tier"]["enabled"] is True
+        assert health["tier"]["degraded"] is False
+        assert health["tier"]["restarts"] == 0
 
     def test_job_lifecycle_and_listing(self, live_service):
         client, _ = live_service
@@ -493,9 +500,11 @@ class TestKillServiceEndToEnd:
                 {"kind": "run", "circuit": "s27", "config": {"seed": 4},
                  "checkpoint_every": 1}
             )
-            ckpt = state / "checkpoints" / f"{job['id']}.ckpt"
+            # Checkpoints are keyed by the deterministic run key (so
+            # resubmissions resume), not the job id — watch for any.
+            ckpt_dir = state / "checkpoints"
             deadline = time.monotonic() + 60
-            while not ckpt.exists():
+            while not list(ckpt_dir.glob("*.ckpt")):
                 assert time.monotonic() < deadline, "no checkpoint appeared"
                 time.sleep(0.005)
         finally:
